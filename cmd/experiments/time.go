@@ -1,0 +1,6 @@
+package main
+
+import "time"
+
+// nowNano isolates the wall clock so the rest of main stays testable.
+func nowNano() int64 { return time.Now().UnixNano() }

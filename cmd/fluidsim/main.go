@@ -1,0 +1,269 @@
+// Command fluidsim is the distributed simulation driver: the paper's four
+// control modules (section 4.1) as subcommands over a shared work
+// directory.
+//
+//	fluidsim init   -dir DIR [-method lb|fd] [-geom channel|fluepipe|fluepipe2] [-nx N -ny N] [-jx J -jy K]
+//	    the initialization + decomposition programs: builds the problem,
+//	    splits it into subregions and writes one dump file per rank.
+//
+//	fluidsim run    -dir DIR -steps S [-tcp]
+//	    the job-submit program: restarts every rank from its dump file
+//	    (one goroutine per rank; -tcp uses real TCP sockets on loopback
+//	    with the shared-file port registry), runs S steps, saves the
+//	    final dumps in an orderly staggered sequence, and writes the
+//	    gathered vorticity field to DIR/vorticity.pgm.
+//
+//	fluidsim status -dir DIR
+//	    the monitoring program's read side: reports each rank's dump.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/decomp"
+	"repro/internal/dump"
+	"repro/internal/fluid"
+	"repro/internal/geom"
+	"repro/internal/msg"
+	"repro/internal/registry"
+	"repro/internal/viz"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("fluidsim: ")
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "init":
+		cmdInit(os.Args[2:])
+	case "run":
+		cmdRun(os.Args[2:])
+	case "status":
+		cmdStatus(os.Args[2:])
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: fluidsim {init|run|status} [flags]")
+	os.Exit(2)
+}
+
+// configFile is the problem description persisted by init for run/status.
+type configFile struct {
+	Method string
+	Geom   string
+	NX, NY int
+	JX, JY int
+}
+
+func configPath(dir string) string { return filepath.Join(dir, "problem.gob") }
+
+func buildConfig(cf configFile) (*core.Config2D, error) {
+	var mask *fluid.Mask2D
+	par := fluid.DefaultParams()
+	periodicX := false
+	switch cf.Geom {
+	case "channel":
+		mask = fluid.ChannelMask2D(cf.NX, cf.NY)
+		par.Nu = 0.1
+		par.Eps = 0.005
+		par.ForceX = 1e-5
+		periodicX = true
+	case "fluepipe":
+		mask = geom.FluePipe(cf.NX, cf.NY)
+		par.Nu = 0.02
+		par.Eps = 0.01
+		par.InletVx = 0.08
+	case "fluepipe2":
+		mask = geom.FluePipeChannel(cf.NX, cf.NY)
+		par.Nu = 0.02
+		par.Eps = 0.01
+		par.InletVx = 0.08
+	default:
+		return nil, fmt.Errorf("unknown geometry %q", cf.Geom)
+	}
+	st := decomp.Full
+	if cf.Method == core.MethodFD {
+		st = decomp.Star
+	}
+	d, err := decomp.New2D(cf.JX, cf.JY, cf.NX, cf.NY, st)
+	if err != nil {
+		return nil, err
+	}
+	d.PeriodicX = periodicX
+	if cf.Geom == "fluepipe2" {
+		if n := d.DeactivateWalls(mask.Solid); n > 0 {
+			log.Printf("deactivated %d all-wall subregions; %d active (figure-2 style)", n, d.P())
+		}
+	}
+	return &core.Config2D{Method: cf.Method, Par: par, Mask: mask, D: d}, nil
+}
+
+func cmdInit(args []string) {
+	fs := flag.NewFlagSet("init", flag.ExitOnError)
+	dir := fs.String("dir", "", "work directory (required)")
+	method := fs.String("method", "lb", "numerical method: lb or fd")
+	geomName := fs.String("geom", "fluepipe", "geometry: channel, fluepipe, fluepipe2")
+	nx := fs.Int("nx", 200, "grid width")
+	ny := fs.Int("ny", 125, "grid height")
+	jx := fs.Int("jx", 5, "subregions in x")
+	jy := fs.Int("jy", 4, "subregions in y")
+	fs.Parse(args)
+	if *dir == "" {
+		log.Fatal("init: -dir is required")
+	}
+	cf := configFile{Method: *method, Geom: *geomName, NX: *nx, NY: *ny, JX: *jx, JY: *jy}
+	cfg, err := buildConfig(cf)
+	if err != nil {
+		log.Fatal(err)
+	}
+	states, err := core.Decompose2D(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := os.MkdirAll(*dir, 0o755); err != nil {
+		log.Fatal(err)
+	}
+	if err := saveGob(configPath(*dir), cf); err != nil {
+		log.Fatal(err)
+	}
+	for _, st := range states {
+		if err := dump.Save(dump.Path(*dir, st.Rank), st); err != nil {
+			log.Fatal(err)
+		}
+	}
+	log.Printf("decomposed %dx%d %s/%s into %d dump files under %s",
+		*nx, *ny, *method, *geomName, len(states), *dir)
+}
+
+func cmdRun(args []string) {
+	fs := flag.NewFlagSet("run", flag.ExitOnError)
+	dir := fs.String("dir", "", "work directory (required)")
+	steps := fs.Int("steps", 500, "integration steps to add")
+	useTCP := fs.Bool("tcp", false, "communicate over TCP sockets instead of channels")
+	fs.Parse(args)
+	if *dir == "" {
+		log.Fatal("run: -dir is required")
+	}
+	var cf configFile
+	if err := loadGob(configPath(*dir), &cf); err != nil {
+		log.Fatal(err)
+	}
+	cfg, err := buildConfig(cf)
+	if err != nil {
+		log.Fatal(err)
+	}
+	states, err := dump.LoadAll(*dir, cfg.D.P())
+	if err != nil {
+		log.Fatal(err)
+	}
+	startStep := states[0].Step
+	until := startStep + *steps
+
+	factory := core.HubFactory()
+	if *useTCP {
+		reg, err := registry.New(filepath.Join(*dir, "registry"))
+		if err != nil {
+			log.Fatal(err)
+		}
+		run := time.Now().UnixNano() // fresh epoch namespace per run
+		factory = func(rank, epoch int) (msg.Transport, error) {
+			return msg.NewTCP(rank, epoch+int(run%1000)*1000, reg)
+		}
+	}
+
+	events := make(chan core.Event, 8*cfg.D.P())
+	workers := make([]*core.Worker, 0, cfg.D.P())
+	progs := make([]*core.Program2D, 0, cfg.D.P())
+	for _, st := range states {
+		p, err := cfg.NewProgram(st.Rank)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := p.RestoreState(st); err != nil {
+			log.Fatal(err)
+		}
+		progs = append(progs, p)
+		w, err := core.NewWorkerAt(p, factory, st.Epoch, events, st.Step)
+		if err != nil {
+			log.Fatal(err)
+		}
+		workers = append(workers, w)
+	}
+	t0 := time.Now()
+	errs := make(chan error, len(workers))
+	for _, w := range workers {
+		go func(w *core.Worker) { errs <- w.RunSteps(until) }(w)
+	}
+	for range workers {
+		if err := <-errs; err != nil {
+			log.Fatal(err)
+		}
+	}
+	for _, w := range workers {
+		w.Close()
+	}
+	elapsed := time.Since(t0)
+	log.Printf("ran %d ranks from step %d to %d in %v (%.0f node-updates/s)",
+		len(workers), startStep, until, elapsed.Round(time.Millisecond),
+		float64(*steps)*float64(cfg.D.GX*cfg.D.GY)/elapsed.Seconds())
+
+	// Orderly staggered saving (section 5.2).
+	seq := dump.NewSequencer(0)
+	finals := make([]*dump.State, len(progs))
+	for i, p := range progs {
+		finals[i] = p.DumpState(until, 0)
+	}
+	if err := seq.SaveAll(*dir, finals); err != nil {
+		log.Fatal(err)
+	}
+
+	res := core.Gather2D(cfg, progs, until)
+	out := filepath.Join(*dir, "vorticity.pgm")
+	f, err := os.Create(out)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	lo, hi := viz.SymmetricRange(res.Vorticity)
+	if err := viz.WritePGM(f, res.NX, res.NY, res.Vorticity, lo, hi); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("saved dumps and %s", out)
+}
+
+func cmdStatus(args []string) {
+	fs := flag.NewFlagSet("status", flag.ExitOnError)
+	dir := fs.String("dir", "", "work directory (required)")
+	fs.Parse(args)
+	if *dir == "" {
+		log.Fatal("status: -dir is required")
+	}
+	var cf configFile
+	if err := loadGob(configPath(*dir), &cf); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("problem: %s %s %dx%d, decomposition (%d x %d)\n",
+		cf.Method, cf.Geom, cf.NX, cf.NY, cf.JX, cf.JY)
+	for rank := 0; ; rank++ {
+		st, err := dump.Load(dump.Path(*dir, rank))
+		if err != nil {
+			if rank == 0 {
+				log.Fatal(err)
+			}
+			break
+		}
+		fmt.Printf("rank %3d: step %6d, %2d fields, %dx%d interior\n",
+			st.Rank, st.Step, len(st.Fields), st.NX, st.NY)
+	}
+}

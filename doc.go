@@ -1,0 +1,14 @@
+// Package repro reproduces P. A. Skordos, "Parallel simulation of subsonic
+// fluid dynamics on a cluster of workstations" (MIT AI Memo 1485, 1994;
+// HPDC 1995): a distributed fluid-dynamics system for non-dedicated
+// workstations built from explicit local-interaction numerical methods
+// (finite differences and lattice Boltzmann), static rectangular domain
+// decomposition with ghost-cell exchange, TCP messaging with a shared-file
+// port registry, and automatic migration of parallel processes from busy
+// hosts to free hosts.
+//
+// The library lives under internal/; see README.md for the architecture,
+// DESIGN.md for the per-experiment index, and EXPERIMENTS.md for
+// paper-versus-measured results. The benchmarks in bench_test.go
+// regenerate every table and figure of the paper's evaluation.
+package repro

@@ -1,0 +1,73 @@
+// Acoustics: why subsonic flow forces small time steps (section 6 and
+// equation 4). A Gaussian density pulse launched in a periodic box expands
+// as an acoustic ring at the speed of sound c_s; the integration step must
+// satisfy dx ~ c_s dt to resolve it, which is exactly why the paper uses
+// explicit methods — the implicit methods' large time steps buy nothing
+// here. The example tracks the wavefront radius against c_s * t for both
+// numerical methods.
+//
+//	go run ./examples/acoustics
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/decomp"
+	"repro/internal/fluid"
+)
+
+func wavefront(res *core.Result2D, n int, rho0 float64) int {
+	bestR, bestV := 0, -1.0
+	for r := 1; r < n/2-2; r++ {
+		v := res.At(res.Rho, n/2+r, n/2) - rho0
+		if v > bestV {
+			bestV, bestR = v, r
+		}
+	}
+	return bestR
+}
+
+func run(method string, n, steps int) *core.Result2D {
+	d, err := decomp.New2D(2, 2, n, n, decomp.Full)
+	if err != nil {
+		log.Fatal(err)
+	}
+	d.PeriodicX, d.PeriodicY = true, true
+	par := fluid.DefaultParams()
+	par.Nu = 0.02
+	par.Eps = 0.003
+	c := float64(n) / 2
+	cfg := &core.Config2D{
+		Method: method,
+		Par:    par,
+		Mask:   fluid.NewMask2D(n, n),
+		D:      d,
+		InitRho: func(x, y int) float64 {
+			return par.Rho0 + fluid.AcousticPulse2D(float64(x), float64(y), c, c, 1e-3, 3)
+		},
+	}
+	res, err := core.RunParallel2D(cfg, steps, core.HubFactory())
+	if err != nil {
+		log.Fatal(err)
+	}
+	return res
+}
+
+func main() {
+	const n = 96
+	par := fluid.DefaultParams()
+	fmt.Printf("acoustic pulse in a %dx%d periodic box, c_s = %.4f, dt = %g\n", n, n, par.Cs, par.Dt)
+	fmt.Printf("(both methods share c_s = 1/sqrt(3) in lattice units)\n\n")
+	fmt.Printf("%6s %10s %12s %12s\n", "steps", "c_s*t", "FD radius", "LB radius")
+	for _, steps := range []int{15, 25, 35, 45} {
+		fd := run(core.MethodFD, n, steps)
+		lb := run(core.MethodLB, n, steps)
+		fmt.Printf("%6d %10.1f %12d %12d\n",
+			steps, par.Cs*float64(steps), wavefront(fd, n, par.Rho0), wavefront(lb, n, par.Rho0))
+	}
+	fmt.Println("\nthe ring tracks c_s*t: the time step is pinned by acoustics (eq. 4),")
+	fmt.Println("so explicit local methods are the right tool and parallelize with")
+	fmt.Println("one small boundary exchange per step.")
+}

@@ -1,0 +1,295 @@
+// Package cluster models the paper's pool of 25 non-dedicated HP9000/700
+// workstations: sixteen 715/50 models, six 720s and three 710s on a shared
+// network, each with UNIX-style 1/5/15-minute load averages, an interactive
+// user who may be active or idle, and background jobs competing for CPU.
+//
+// The model substitutes for hardware this reproduction does not have; it
+// exposes exactly the observables the paper's programs read — "uptime"
+// load averages and user idle time — so the free-host selection policy of
+// section 4.1 and the migration trigger of section 5.1 run unchanged
+// against it. Time is explicit (Advance), so tests and the performance
+// simulator control it deterministically.
+package cluster
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+)
+
+// Model identifies a workstation model. Speed factors are the measured
+// relative speeds of the paper's section-7 table (LB 2D row): 715/50 = 1.0,
+// 710 = 0.84, 720 = 0.86, where 1.0 corresponds to 39,132 fluid nodes
+// integrated per second.
+type Model int
+
+const (
+	HP715 Model = iota
+	HP710
+	HP720
+)
+
+func (m Model) String() string {
+	switch m {
+	case HP715:
+		return "HP9000/715-50"
+	case HP710:
+		return "HP9000/710"
+	case HP720:
+		return "HP9000/720"
+	}
+	return fmt.Sprintf("Model(%d)", int(m))
+}
+
+// SpeedFactor returns the model's relative speed for the given method and
+// dimensionality, from the section-7 speed table.
+func (m Model) SpeedFactor(method string) float64 {
+	table := map[string]map[Model]float64{
+		"lb2d": {HP715: 1.0, HP710: 0.84, HP720: 0.86},
+		"lb3d": {HP715: 0.51, HP710: 0.40, HP720: 0.42},
+		"fd2d": {HP715: 1.24, HP710: 1.08, HP720: 1.17},
+		"fd3d": {HP715: 1.0, HP710: 0.85, HP720: 0.94},
+	}
+	if row, ok := table[method]; ok {
+		return row[m]
+	}
+	// Unknown method: fall back to the LB 2D relative speeds.
+	return map[Model]float64{HP715: 1.0, HP710: 0.84, HP720: 0.86}[m]
+}
+
+// BaseNodesPerSecond is the absolute speed corresponding to relative speed
+// 1.0 in the section-7 table: 39,132 fluid nodes integrated per second.
+const BaseNodesPerSecond = 39132.0
+
+// Load-average time constants of the UNIX kernel.
+var loadTaus = [3]time.Duration{time.Minute, 5 * time.Minute, 15 * time.Minute}
+
+// Host is one virtual workstation.
+type Host struct {
+	Name  string
+	Model Model
+
+	// jobs is the number of full-time competing processes (not counting
+	// a parallel subprocess, which runs at low priority and is invisible
+	// to the load threshold decision in this model: "nice" keeps it out
+	// of the regular users' way).
+	jobs int
+
+	// loads are the 1/5/15-minute exponentially averaged load values.
+	loads [3]float64
+
+	// idleFor is how long the interactive user has been idle.
+	idleFor time.Duration
+
+	// assigned is the rank of the parallel subprocess placed here, or -1.
+	assigned int
+}
+
+// NewHost creates an idle host with no user activity.
+func NewHost(name string, model Model) *Host {
+	return &Host{Name: name, Model: model, idleFor: time.Hour, assigned: -1}
+}
+
+// Uptime returns the 1, 5 and 15-minute load averages, the observable the
+// monitoring program reads via the UNIX command "uptime".
+func (h *Host) Uptime() (l1, l5, l15 float64) {
+	return h.loads[0], h.loads[1], h.loads[2]
+}
+
+// IdleFor returns how long the interactive user has been idle.
+func (h *Host) IdleFor() time.Duration { return h.idleFor }
+
+// UserIdle reports whether the user has been idle for more than 20 minutes,
+// the section-4.1 threshold separating idle-user from active-user hosts.
+func (h *Host) UserIdle() bool { return h.idleFor >= 20*time.Minute }
+
+// Jobs returns the number of competing full-time processes.
+func (h *Host) Jobs() int { return h.jobs }
+
+// StartJob adds a competing full-time process (a regular user's
+// computation).
+func (h *Host) StartJob() { h.jobs++ }
+
+// StopJob removes one competing process.
+func (h *Host) StopJob() {
+	if h.jobs > 0 {
+		h.jobs--
+	}
+}
+
+// TouchUser marks interactive activity, resetting the idle clock.
+func (h *Host) TouchUser() { h.idleFor = 0 }
+
+// Assigned returns the rank of the parallel subprocess on this host, or -1.
+func (h *Host) Assigned() int { return h.assigned }
+
+// Assign places a parallel subprocess on the host.
+func (h *Host) Assign(rank int) { h.assigned = rank }
+
+// Unassign removes the parallel subprocess.
+func (h *Host) Unassign() { h.assigned = -1 }
+
+// advance evolves the load averages toward the current job count over dt,
+// and accumulates user idle time. A parallel subprocess contributes a full
+// unit of load (it is a full-time process, merely niced), so the observable
+// load includes it when present.
+func (h *Host) advance(dt time.Duration) {
+	target := float64(h.jobs)
+	if h.assigned >= 0 {
+		target++
+	}
+	for i, tau := range loadTaus {
+		a := 1 - math.Exp(-dt.Seconds()/tau.Seconds())
+		h.loads[i] += (target - h.loads[i]) * a
+	}
+	h.idleFor += dt
+}
+
+// Speed returns the host's effective fluid-node integration speed
+// (nodes per second) for a numerical method, degraded by competing jobs:
+// with k full-time competitors, the niced subprocess receives roughly
+// 1/(k+1) of the CPU.
+func (h *Host) Speed(method string) float64 {
+	s := BaseNodesPerSecond * h.Model.SpeedFactor(method)
+	return s / float64(h.jobs+1)
+}
+
+// Cluster is a pool of hosts.
+type Cluster struct {
+	Hosts []*Host
+	now   time.Duration
+}
+
+// NewPaperCluster builds the paper's pool: sixteen 715/50s, six 720s and
+// three 710s.
+func NewPaperCluster() *Cluster {
+	c := &Cluster{}
+	for i := 0; i < 16; i++ {
+		c.Hosts = append(c.Hosts, NewHost(fmt.Sprintf("hp715-%02d", i), HP715))
+	}
+	for i := 0; i < 6; i++ {
+		c.Hosts = append(c.Hosts, NewHost(fmt.Sprintf("hp720-%02d", i), HP720))
+	}
+	for i := 0; i < 3; i++ {
+		c.Hosts = append(c.Hosts, NewHost(fmt.Sprintf("hp710-%02d", i), HP710))
+	}
+	return c
+}
+
+// Now returns the cluster's simulated time.
+func (c *Cluster) Now() time.Duration { return c.now }
+
+// Advance moves simulated time forward, evolving every host.
+func (c *Cluster) Advance(dt time.Duration) {
+	c.now += dt
+	for _, h := range c.Hosts {
+		h.advance(dt)
+	}
+}
+
+// ByName returns the named host or nil.
+func (c *Cluster) ByName(name string) *Host {
+	for _, h := range c.Hosts {
+		if h.Name == name {
+			return h
+		}
+	}
+	return nil
+}
+
+// SelectionPolicy holds the free-host selection thresholds of section 4.1.
+type SelectionPolicy struct {
+	// MaxLoad15 is the fifteen-minute load threshold below which a host is
+	// selectable ("the load must be less than 0.6 where 1.0 means a
+	// full-time process is running").
+	MaxLoad15 float64
+	// MinIdle is the user idle time that moves a host into the preferred
+	// idle-user group.
+	MinIdle time.Duration
+}
+
+// DefaultPolicy returns the paper's thresholds.
+func DefaultPolicy() SelectionPolicy {
+	return SelectionPolicy{MaxLoad15: 0.6, MinIdle: 20 * time.Minute}
+}
+
+// SelectFree returns up to n free hosts following the section-4.1 strategy:
+// idle-user workstations with low load first, then active-user
+// workstations, preferring 715 models within each group (the paper: "our
+// strategy is to choose 715 models first before choosing the slightly
+// slower 710 and 720 models"). Hosts already running a parallel subprocess
+// are never selected.
+func (c *Cluster) SelectFree(n int, pol SelectionPolicy) []*Host {
+	var idleUser, activeUser []*Host
+	for _, h := range c.Hosts {
+		if h.assigned >= 0 {
+			continue
+		}
+		_, _, l15 := h.Uptime()
+		if l15 >= pol.MaxLoad15 {
+			continue
+		}
+		if h.idleFor >= pol.MinIdle {
+			idleUser = append(idleUser, h)
+		} else {
+			activeUser = append(activeUser, h)
+		}
+	}
+	prefer := func(hosts []*Host) {
+		sort.SliceStable(hosts, func(i, j int) bool {
+			pi, pj := modelPreference(hosts[i].Model), modelPreference(hosts[j].Model)
+			if pi != pj {
+				return pi < pj
+			}
+			return hosts[i].Name < hosts[j].Name
+		})
+	}
+	prefer(idleUser)
+	prefer(activeUser)
+	out := append(idleUser, activeUser...)
+	if len(out) > n {
+		out = out[:n]
+	}
+	return out
+}
+
+// modelPreference orders 715 first, then 720, then 710 (the paper treats
+// 710 as the slowest).
+func modelPreference(m Model) int {
+	switch m {
+	case HP715:
+		return 0
+	case HP720:
+		return 1
+	default:
+		return 2
+	}
+}
+
+// MigrationPolicy holds the section-5.1 migration trigger.
+type MigrationPolicy struct {
+	// MaxLoad5 is the five-minute-average load beyond which the host is
+	// considered busy with a second full-time process (typically 1.5).
+	MaxLoad5 float64
+}
+
+// DefaultMigrationPolicy returns the paper's threshold of 1.5.
+func DefaultMigrationPolicy() MigrationPolicy { return MigrationPolicy{MaxLoad5: 1.5} }
+
+// NeedsMigration returns the hosts whose parallel subprocess should migrate:
+// assigned hosts whose five-minute load exceeds the threshold, meaning a
+// second full-time process is running alongside the subprocess.
+func (c *Cluster) NeedsMigration(pol MigrationPolicy) []*Host {
+	var out []*Host
+	for _, h := range c.Hosts {
+		if h.assigned < 0 {
+			continue
+		}
+		_, l5, _ := h.Uptime()
+		if l5 > pol.MaxLoad5 {
+			out = append(out, h)
+		}
+	}
+	return out
+}

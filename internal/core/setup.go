@@ -1,0 +1,329 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/decomp"
+	"repro/internal/dump"
+	"repro/internal/fd"
+	"repro/internal/fluid"
+	"repro/internal/lbm"
+	"repro/internal/msg"
+)
+
+// Method names accepted by the configs.
+const (
+	MethodFD = "fd" // explicit finite differences
+	MethodLB = "lb" // lattice Boltzmann
+)
+
+// Config2D describes a complete 2D simulation: the initialization program's
+// output (global mask and initial fields), the physical parameters, the
+// numerical method, and the decomposition.
+type Config2D struct {
+	Method string // MethodFD or MethodLB
+	Par    fluid.Params
+	Mask   *fluid.Mask2D
+	D      *decomp.Decomp2D
+
+	// Initial fields at global coordinates; nil means rho = Rho0, V = 0.
+	InitRho, InitVx, InitVy func(x, y int) float64
+}
+
+// Validate checks the configuration.
+func (c *Config2D) Validate() error {
+	if c.Method != MethodFD && c.Method != MethodLB {
+		return fmt.Errorf("core: unknown method %q", c.Method)
+	}
+	if c.Mask == nil || c.D == nil {
+		return fmt.Errorf("core: mask and decomposition are required")
+	}
+	if c.Mask.NX != c.D.GX || c.Mask.NY != c.D.GY {
+		return fmt.Errorf("core: mask %dx%d does not match decomposition grid %dx%d",
+			c.Mask.NX, c.Mask.NY, c.D.GX, c.D.GY)
+	}
+	return c.Par.Check()
+}
+
+// wrapCoord folds a global coordinate into [0, g) on periodic axes.
+func wrapCoord(v, g int, periodic bool) int {
+	if !periodic {
+		return v
+	}
+	return ((v % g) + g) % g
+}
+
+// LocalMask2D adapts the global mask to one subregion's local coordinates,
+// respecting the decomposition's periodic axes. Coordinates outside a
+// non-periodic domain read as Wall (the region is enclosed by walls).
+func LocalMask2D(d *decomp.Decomp2D, sub *decomp.Subregion2D, m *fluid.Mask2D) func(x, y int) fluid.CellType {
+	return func(x, y int) fluid.CellType {
+		gx := wrapCoord(sub.X0+x, d.GX, d.PeriodicX)
+		gy := wrapCoord(sub.Y0+y, d.GY, d.PeriodicY)
+		return m.At(gx, gy)
+	}
+}
+
+// globalAt evaluates an init function at wrapped global coordinates, with a
+// default for nodes beyond a non-periodic domain.
+func (c *Config2D) globalAt(f func(x, y int) float64, gx, gy int, def float64) float64 {
+	gx = wrapCoord(gx, c.D.GX, c.D.PeriodicX)
+	gy = wrapCoord(gy, c.D.GY, c.D.PeriodicY)
+	if gx < 0 || gx >= c.D.GX || gy < 0 || gy >= c.D.GY {
+		return def
+	}
+	if f == nil {
+		return def
+	}
+	return f(gx, gy)
+}
+
+// NewMethod2D builds the numerical method instance for one subregion,
+// with fields initialized from the config: the combined initialization +
+// decomposition programs of section 4.1 for a fresh start.
+func (c *Config2D) NewMethod2D(rank int) (Method2D, error) {
+	sub := c.D.ByRank(rank)
+	mask := LocalMask2D(c.D, sub, c.Mask)
+	switch c.Method {
+	case MethodFD:
+		s, err := fd.NewSolver2D(sub.NX, sub.NY, c.Par, mask)
+		if err != nil {
+			return nil, err
+		}
+		// Fill interior and ghosts from the global initial state: the
+		// ghost values equal the neighbours' edges, exactly the state an
+		// exchange would have produced.
+		for y := -1; y <= sub.NY; y++ {
+			for x := -1; x <= sub.NX; x++ {
+				gx, gy := sub.X0+x, sub.Y0+y
+				s.Rho.Set(x, y, c.globalAt(c.InitRho, gx, gy, c.Par.Rho0))
+				s.Vx.Set(x, y, c.globalAt(c.InitVx, gx, gy, 0))
+				s.Vy.Set(x, y, c.globalAt(c.InitVy, gx, gy, 0))
+			}
+		}
+		return s, nil
+	case MethodLB:
+		s, err := lbm.NewSolver2D(sub.NX, sub.NY, c.Par, mask)
+		if err != nil {
+			return nil, err
+		}
+		for y := -1; y <= sub.NY; y++ {
+			for x := -1; x <= sub.NX; x++ {
+				gx, gy := sub.X0+x, sub.Y0+y
+				s.Rho.Set(x, y, c.globalAt(c.InitRho, gx, gy, c.Par.Rho0))
+				s.Vx.Set(x, y, c.globalAt(c.InitVx, gx, gy, 0))
+				s.Vy.Set(x, y, c.globalAt(c.InitVy, gx, gy, 0))
+			}
+		}
+		s.InitEquilibrium()
+		return s, nil
+	}
+	return nil, fmt.Errorf("core: unknown method %q", c.Method)
+}
+
+// NewProgram builds the Program for one rank.
+func (c *Config2D) NewProgram(rank int) (*Program2D, error) {
+	m, err := c.NewMethod2D(rank)
+	if err != nil {
+		return nil, err
+	}
+	return NewProgram2D(m, c.D, rank), nil
+}
+
+// Decompose2D is the decomposition program: it produces one dump.State per
+// active subregion, each containing everything a workstation needs to
+// participate.
+func Decompose2D(c *Config2D) ([]*dump.State, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	states := make([]*dump.State, 0, c.D.P())
+	for rank := 0; rank < c.D.P(); rank++ {
+		p, err := c.NewProgram(rank)
+		if err != nil {
+			return nil, err
+		}
+		states = append(states, p.DumpState(0, 0))
+	}
+	return states, nil
+}
+
+// Submit2D is the job-submit program for one rank: it rebuilds the Program
+// from a dump file and wraps it in a Worker whose channels are opened
+// through the factory.
+func Submit2D(c *Config2D, st *dump.State, factory TransportFactory, events chan<- Event) (*Worker, error) {
+	p, err := c.NewProgram(st.Rank)
+	if err != nil {
+		return nil, err
+	}
+	if err := p.RestoreState(st); err != nil {
+		return nil, err
+	}
+	return NewWorkerAt(p, factory, st.Epoch, events, st.Step)
+}
+
+// Result2D is a gathered global solution.
+type Result2D struct {
+	NX, NY        int
+	Rho, Vx, Vy   []float64 // row-major interior fields
+	Vorticity     []float64 // curl of velocity (centered differences)
+	Steps         int
+	ActiveRegions int
+}
+
+// At indexes a gathered field.
+func (r *Result2D) At(f []float64, x, y int) float64 { return f[y*r.NX+x] }
+
+// Gather2D assembles the global fields from per-rank programs, inverting
+// the decomposition.
+func Gather2D(c *Config2D, progs []*Program2D, steps int) *Result2D {
+	res := &Result2D{
+		NX: c.D.GX, NY: c.D.GY,
+		Rho:           make([]float64, c.D.GX*c.D.GY),
+		Vx:            make([]float64, c.D.GX*c.D.GY),
+		Vy:            make([]float64, c.D.GX*c.D.GY),
+		Vorticity:     make([]float64, c.D.GX*c.D.GY),
+		Steps:         steps,
+		ActiveRegions: c.D.P(),
+	}
+	for i := range res.Rho {
+		res.Rho[i] = c.Par.Rho0
+	}
+	for _, p := range progs {
+		var rho, vx, vy interface {
+			At(x, y int) float64
+		}
+		switch m := p.M.(type) {
+		case *fd.Solver2D:
+			rho, vx, vy = m.Rho, m.Vx, m.Vy
+		case *lbm.Solver2D:
+			rho, vx, vy = m.Rho, m.Vx, m.Vy
+		default:
+			continue
+		}
+		sub := p.Sub
+		for y := 0; y < sub.NY; y++ {
+			for x := 0; x < sub.NX; x++ {
+				g := (sub.Y0+y)*c.D.GX + (sub.X0 + x)
+				res.Rho[g] = rho.At(x, y)
+				res.Vx[g] = vx.At(x, y)
+				res.Vy[g] = vy.At(x, y)
+			}
+		}
+	}
+	// Vorticity from the gathered velocity (interior nodes only).
+	for y := 1; y < res.NY-1; y++ {
+		for x := 1; x < res.NX-1; x++ {
+			g := y*res.NX + x
+			res.Vorticity[g] = 0.5*(res.Vy[g+1]-res.Vy[g-1]) - 0.5*(res.Vx[g+res.NX]-res.Vx[g-res.NX])
+		}
+	}
+	return res
+}
+
+// RunSequential2D executes the decomposed problem in one goroutine,
+// delivering messages directly between programs in phase lockstep. It is
+// the serial reference: identical numerics to the parallel run (including
+// the filter's seam behaviour), with no transports involved.
+func RunSequential2D(c *Config2D, steps int) (*Result2D, []*Program2D, error) {
+	if err := c.Validate(); err != nil {
+		return nil, nil, err
+	}
+	progs := make([]*Program2D, c.D.P())
+	for rank := range progs {
+		p, err := c.NewProgram(rank)
+		if err != nil {
+			return nil, nil, err
+		}
+		progs[rank] = p
+	}
+	if err := stepSequential2D(progs, steps); err != nil {
+		return nil, nil, err
+	}
+	return Gather2D(c, progs, steps), progs, nil
+}
+
+// stepSequential2D advances a set of programs in phase lockstep.
+func stepSequential2D(progs []*Program2D, steps int) error {
+	if len(progs) == 0 {
+		return fmt.Errorf("core: no programs")
+	}
+	phases := progs[0].Phases()
+	for s := 0; s < steps; s++ {
+		for ph := 0; ph < phases; ph++ {
+			for _, p := range progs {
+				p.Compute(ph)
+			}
+			// Deliver all sends after all computes: every payload is
+			// copied immediately, so in-place solver buffers are safe.
+			type delivery struct {
+				to, dir int
+				data    []float64
+			}
+			var inbox []delivery
+			for _, p := range progs {
+				for _, snd := range p.Sends(ph) {
+					inbox = append(inbox, delivery{
+						to: snd.Peer, dir: snd.Dir,
+						data: append([]float64(nil), snd.Data...),
+					})
+				}
+			}
+			for _, d := range inbox {
+				progs[d.to].Unpack(ph, d.dir, d.data)
+			}
+		}
+	}
+	return nil
+}
+
+// RunParallel2D runs the decomposed problem with one goroutine per
+// subregion over the given transport factory (channel hub or TCP): the
+// job-submit program plus the parallel program of section 4.
+func RunParallel2D(c *Config2D, steps int, factory TransportFactory) (*Result2D, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	progs := make([]*Program2D, c.D.P())
+	workers := make([]*Worker, c.D.P())
+	events := make(chan Event, 4*c.D.P())
+	for rank := range progs {
+		p, err := c.NewProgram(rank)
+		if err != nil {
+			return nil, err
+		}
+		progs[rank] = p
+		w, err := NewWorker(p, factory, 0, events)
+		if err != nil {
+			return nil, err
+		}
+		workers[rank] = w
+	}
+	errs := make(chan error, len(workers))
+	for _, w := range workers {
+		go func(w *Worker) {
+			errs <- w.RunSteps(steps)
+		}(w)
+	}
+	var first error
+	for range workers {
+		if err := <-errs; err != nil && first == nil {
+			first = err
+		}
+	}
+	for _, w := range workers {
+		w.Close()
+	}
+	if first != nil {
+		return nil, first
+	}
+	return Gather2D(c, progs, steps), nil
+}
+
+// HubFactory returns a TransportFactory over a fresh in-process hub.
+func HubFactory() TransportFactory {
+	hub := msg.NewHub()
+	return func(rank, epoch int) (msg.Transport, error) {
+		return hub.Join(rank), nil
+	}
+}

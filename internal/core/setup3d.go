@@ -1,0 +1,254 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/decomp"
+	"repro/internal/dump"
+	"repro/internal/fd"
+	"repro/internal/fluid"
+	"repro/internal/lbm"
+)
+
+// Config3D describes a complete 3D simulation.
+type Config3D struct {
+	Method string
+	Par    fluid.Params
+	Mask   *fluid.Mask3D
+	D      *decomp.Decomp3D
+
+	InitRho, InitVx, InitVy, InitVz func(x, y, z int) float64
+}
+
+// Validate checks the configuration.
+func (c *Config3D) Validate() error {
+	if c.Method != MethodFD && c.Method != MethodLB {
+		return fmt.Errorf("core: unknown method %q", c.Method)
+	}
+	if c.Mask == nil || c.D == nil {
+		return fmt.Errorf("core: mask and decomposition are required")
+	}
+	if c.Mask.NX != c.D.GX || c.Mask.NY != c.D.GY || c.Mask.NZ != c.D.GZ {
+		return fmt.Errorf("core: mask %dx%dx%d does not match grid %dx%dx%d",
+			c.Mask.NX, c.Mask.NY, c.Mask.NZ, c.D.GX, c.D.GY, c.D.GZ)
+	}
+	return c.Par.Check()
+}
+
+// LocalMask3D adapts the global mask to one box's local coordinates.
+func LocalMask3D(d *decomp.Decomp3D, sub *decomp.Subregion3D, m *fluid.Mask3D) func(x, y, z int) fluid.CellType {
+	return func(x, y, z int) fluid.CellType {
+		gx := wrapCoord(sub.X0+x, d.GX, d.PeriodicX)
+		gy := wrapCoord(sub.Y0+y, d.GY, d.PeriodicY)
+		gz := wrapCoord(sub.Z0+z, d.GZ, d.PeriodicZ)
+		return m.At(gx, gy, gz)
+	}
+}
+
+func (c *Config3D) globalAt(f func(x, y, z int) float64, gx, gy, gz int, def float64) float64 {
+	gx = wrapCoord(gx, c.D.GX, c.D.PeriodicX)
+	gy = wrapCoord(gy, c.D.GY, c.D.PeriodicY)
+	gz = wrapCoord(gz, c.D.GZ, c.D.PeriodicZ)
+	if gx < 0 || gx >= c.D.GX || gy < 0 || gy >= c.D.GY || gz < 0 || gz >= c.D.GZ {
+		return def
+	}
+	if f == nil {
+		return def
+	}
+	return f(gx, gy, gz)
+}
+
+// NewMethod3D builds the numerical method for one box with initialized
+// fields.
+func (c *Config3D) NewMethod3D(rank int) (Method3D, error) {
+	sub := c.D.ByRank(rank)
+	mask := LocalMask3D(c.D, sub, c.Mask)
+	initFields := func(rho, vx, vy, vz interface {
+		Set(x, y, z int, v float64)
+	}, nx, ny, nz int) {
+		for z := -1; z <= nz; z++ {
+			for y := -1; y <= ny; y++ {
+				for x := -1; x <= nx; x++ {
+					gx, gy, gz := sub.X0+x, sub.Y0+y, sub.Z0+z
+					rho.Set(x, y, z, c.globalAt(c.InitRho, gx, gy, gz, c.Par.Rho0))
+					vx.Set(x, y, z, c.globalAt(c.InitVx, gx, gy, gz, 0))
+					vy.Set(x, y, z, c.globalAt(c.InitVy, gx, gy, gz, 0))
+					vz.Set(x, y, z, c.globalAt(c.InitVz, gx, gy, gz, 0))
+				}
+			}
+		}
+	}
+	switch c.Method {
+	case MethodFD:
+		s, err := fd.NewSolver3D(sub.NX, sub.NY, sub.NZ, c.Par, mask)
+		if err != nil {
+			return nil, err
+		}
+		initFields(s.Rho, s.Vx, s.Vy, s.Vz, sub.NX, sub.NY, sub.NZ)
+		return s, nil
+	case MethodLB:
+		s, err := lbm.NewSolver3D(sub.NX, sub.NY, sub.NZ, c.Par, mask)
+		if err != nil {
+			return nil, err
+		}
+		initFields(s.Rho, s.Vx, s.Vy, s.Vz, sub.NX, sub.NY, sub.NZ)
+		s.InitEquilibrium()
+		return s, nil
+	}
+	return nil, fmt.Errorf("core: unknown method %q", c.Method)
+}
+
+// NewProgram builds the Program for one rank.
+func (c *Config3D) NewProgram(rank int) (*Program3D, error) {
+	m, err := c.NewMethod3D(rank)
+	if err != nil {
+		return nil, err
+	}
+	return NewProgram3D(m, c.D, rank), nil
+}
+
+// Decompose3D produces one dump per active box.
+func Decompose3D(c *Config3D) ([]*dump.State, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	states := make([]*dump.State, 0, c.D.P())
+	for rank := 0; rank < c.D.P(); rank++ {
+		p, err := c.NewProgram(rank)
+		if err != nil {
+			return nil, err
+		}
+		states = append(states, p.DumpState(0, 0))
+	}
+	return states, nil
+}
+
+// Result3D is a gathered global 3D solution.
+type Result3D struct {
+	NX, NY, NZ      int
+	Rho, Vx, Vy, Vz []float64
+	Steps           int
+}
+
+// At indexes a gathered 3D field.
+func (r *Result3D) At(f []float64, x, y, z int) float64 {
+	return f[(z*r.NY+y)*r.NX+x]
+}
+
+// Gather3D assembles the global 3D fields.
+func Gather3D(c *Config3D, progs []*Program3D, steps int) *Result3D {
+	n := c.D.GX * c.D.GY * c.D.GZ
+	res := &Result3D{
+		NX: c.D.GX, NY: c.D.GY, NZ: c.D.GZ,
+		Rho: make([]float64, n), Vx: make([]float64, n),
+		Vy: make([]float64, n), Vz: make([]float64, n),
+		Steps: steps,
+	}
+	for _, p := range progs {
+		var rho, vx, vy, vz interface {
+			At(x, y, z int) float64
+		}
+		switch m := p.M.(type) {
+		case *fd.Solver3D:
+			rho, vx, vy, vz = m.Rho, m.Vx, m.Vy, m.Vz
+		case *lbm.Solver3D:
+			rho, vx, vy, vz = m.Rho, m.Vx, m.Vy, m.Vz
+		default:
+			continue
+		}
+		sub := p.Sub
+		for z := 0; z < sub.NZ; z++ {
+			for y := 0; y < sub.NY; y++ {
+				for x := 0; x < sub.NX; x++ {
+					g := ((sub.Z0+z)*c.D.GY+(sub.Y0+y))*c.D.GX + (sub.X0 + x)
+					res.Rho[g] = rho.At(x, y, z)
+					res.Vx[g] = vx.At(x, y, z)
+					res.Vy[g] = vy.At(x, y, z)
+					res.Vz[g] = vz.At(x, y, z)
+				}
+			}
+		}
+	}
+	return res
+}
+
+// RunSequential3D executes the decomposed 3D problem in phase lockstep.
+func RunSequential3D(c *Config3D, steps int) (*Result3D, []*Program3D, error) {
+	if err := c.Validate(); err != nil {
+		return nil, nil, err
+	}
+	progs := make([]*Program3D, c.D.P())
+	for rank := range progs {
+		p, err := c.NewProgram(rank)
+		if err != nil {
+			return nil, nil, err
+		}
+		progs[rank] = p
+	}
+	phases := progs[0].Phases()
+	for s := 0; s < steps; s++ {
+		for ph := 0; ph < phases; ph++ {
+			for _, p := range progs {
+				p.Compute(ph)
+			}
+			type delivery struct {
+				to, dir int
+				data    []float64
+			}
+			var inbox []delivery
+			for _, p := range progs {
+				for _, snd := range p.Sends(ph) {
+					inbox = append(inbox, delivery{
+						to: snd.Peer, dir: snd.Dir,
+						data: append([]float64(nil), snd.Data...),
+					})
+				}
+			}
+			for _, d := range inbox {
+				progs[d.to].Unpack(ph, d.dir, d.data)
+			}
+		}
+	}
+	return Gather3D(c, progs, steps), progs, nil
+}
+
+// RunParallel3D runs the decomposed 3D problem with one goroutine per box.
+func RunParallel3D(c *Config3D, steps int, factory TransportFactory) (*Result3D, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	progs := make([]*Program3D, c.D.P())
+	workers := make([]*Worker, c.D.P())
+	events := make(chan Event, 4*c.D.P())
+	for rank := range progs {
+		p, err := c.NewProgram(rank)
+		if err != nil {
+			return nil, err
+		}
+		progs[rank] = p
+		w, err := NewWorker(p, factory, 0, events)
+		if err != nil {
+			return nil, err
+		}
+		workers[rank] = w
+	}
+	errs := make(chan error, len(workers))
+	for _, w := range workers {
+		go func(w *Worker) {
+			errs <- w.RunSteps(steps)
+		}(w)
+	}
+	var first error
+	for range workers {
+		if err := <-errs; err != nil && first == nil {
+			first = err
+		}
+	}
+	for _, w := range workers {
+		w.Close()
+	}
+	if first != nil {
+		return nil, first
+	}
+	return Gather3D(c, progs, steps), nil
+}

@@ -1,0 +1,192 @@
+package core
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/dump"
+	"repro/internal/msg"
+)
+
+// stubProgram is a minimal Program: one phase, one peer, records the
+// payloads it unpacks in order.
+type stubProgram struct {
+	rank     int
+	peer     int
+	computed int
+	unpacked []float64
+}
+
+func (p *stubProgram) Rank() int         { return p.rank }
+func (p *stubProgram) Phases() int       { return 1 }
+func (p *stubProgram) Compute(phase int) { p.computed++ }
+func (p *stubProgram) Sends(phase int) []Send {
+	return []Send{{Peer: p.peer, Dir: 0, Data: []float64{float64(p.computed)}}}
+}
+func (p *stubProgram) Expects(phase int) []Expect {
+	return []Expect{{Peer: p.peer, Dir: 0}}
+}
+func (p *stubProgram) Unpack(phase int, dir int, data []float64) {
+	p.unpacked = append(p.unpacked, data...)
+}
+func (p *stubProgram) DumpState(step, epoch int) *dump.State {
+	return &dump.State{Rank: p.rank, Step: step, Epoch: epoch, Method: "stub",
+		NX: 1, NY: 1, NZ: 1, Fields: map[string][]float64{"x": {1}}}
+}
+func (p *stubProgram) RestoreState(st *dump.State) error { return nil }
+
+// TestWorkerBuffersEarlyMessages: a fast peer may run several steps ahead
+// (appendix A); its early messages must be buffered and consumed in step
+// order, not dropped or misapplied.
+func TestWorkerBuffersEarlyMessages(t *testing.T) {
+	hub := msg.NewHub()
+	factory := func(rank, epoch int) (msg.Transport, error) { return hub.Join(rank), nil }
+	events := make(chan Event, 8)
+
+	prog := &stubProgram{rank: 0, peer: 1}
+	w, err := NewWorker(prog, factory, 0, events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	// The peer floods messages for steps 0..4 before the worker starts.
+	peer := hub.Join(1)
+	for s := 4; s >= 0; s-- { // deliberately reversed arrival order
+		if err := peer.Send(msg.Message{To: 0, Step: s, Phase: 0, Dir: 0,
+			Data: []float64{float64(100 + s)}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.RunSteps(5); err != nil {
+		t.Fatal(err)
+	}
+	if len(prog.unpacked) != 5 {
+		t.Fatalf("unpacked %d payloads, want 5", len(prog.unpacked))
+	}
+	for s := 0; s < 5; s++ {
+		if prog.unpacked[s] != float64(100+s) {
+			t.Errorf("step %d consumed %v, want %v", s, prog.unpacked[s], float64(100+s))
+		}
+	}
+}
+
+// TestWorkerUnsyncDrift: two coupled workers where one is much slower;
+// the fast one must be able to run ahead only as far as its data
+// dependencies allow (one step here, since they exchange every step), and
+// everything completes.
+func TestWorkerUnsyncDrift(t *testing.T) {
+	hub := msg.NewHub()
+	factory := func(rank, epoch int) (msg.Transport, error) { return hub.Join(rank), nil }
+	events := make(chan Event, 8)
+	a, err := NewWorker(&stubProgram{rank: 0, peer: 1}, factory, 0, events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewWorker(&stubProgram{rank: 1, peer: 0}, factory, 0, events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	defer b.Close()
+	const steps = 50
+	errs := make(chan error, 2)
+	go func() { errs <- a.RunSteps(steps) }()
+	go func() {
+		// The slow worker dribbles its steps.
+		for i := 0; i < steps; i++ {
+			time.Sleep(100 * time.Microsecond)
+			if err := b.RunStep(); err != nil {
+				errs <- err
+				return
+			}
+		}
+		errs <- nil
+	}()
+	for i := 0; i < 2; i++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+	if a.Step != steps || b.Step != steps {
+		t.Errorf("steps: %d, %d; want %d", a.Step, b.Step, steps)
+	}
+}
+
+// TestWorkerErrorEventOnClosedTransport: killing the transport mid-run
+// surfaces an EventError rather than hanging — the failure path the
+// monitoring program watches for ("if an unrecoverable error occurs, the
+// distributed simulation is stopped").
+func TestWorkerErrorEventOnClosedTransport(t *testing.T) {
+	hub := msg.NewHub()
+	factory := func(rank, epoch int) (msg.Transport, error) { return hub.Join(rank), nil }
+	events := make(chan Event, 8)
+	w, err := NewWorker(&stubProgram{rank: 0, peer: 1}, factory, 0, events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// No peer exists; the worker will block in Recv. Close the transport
+	// underneath it.
+	go w.Start(3)
+	time.Sleep(10 * time.Millisecond)
+	w.Close()
+	select {
+	case e := <-events:
+		if e.Kind != EventError {
+			t.Errorf("event %v, want error", e.Kind)
+		}
+		if !errors.Is(e.Err, msg.ErrClosed) {
+			t.Errorf("error %v, want ErrClosed in chain", e.Err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("no error event after transport close")
+	}
+	w.Shutdown()
+}
+
+// TestWorkerPauseWithoutSyncFuncFails: the pause path requires the
+// shared-file sync machinery; without it the control command reports an
+// error instead of wedging the worker.
+func TestWorkerPauseWithoutSyncFuncFails(t *testing.T) {
+	hub := msg.NewHub()
+	factory := func(rank, epoch int) (msg.Transport, error) { return hub.Join(rank), nil }
+	events := make(chan Event, 8)
+	prog := &stubProgram{rank: 0, peer: 0} // self-loop so steps complete
+	w, err := NewWorker(prog, factory, 0, events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	go w.Start(2)
+	// Wait for completion.
+	for e := range events {
+		if e.Kind == EventDone {
+			break
+		}
+	}
+	w.RequestPause(1) // no SyncFunc wired
+	// The worker must stay alive and responsive.
+	time.Sleep(20 * time.Millisecond)
+	w.Shutdown()
+}
+
+// TestRestoredWorkerStartsAtDumpStep: NewWorkerAt seeds the step counter.
+func TestRestoredWorkerStartsAtDumpStep(t *testing.T) {
+	hub := msg.NewHub()
+	factory := func(rank, epoch int) (msg.Transport, error) { return hub.Join(rank), nil }
+	events := make(chan Event, 8)
+	prog := &stubProgram{rank: 0, peer: 0}
+	w, err := NewWorkerAt(prog, factory, 3, events, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	if w.Step != 17 || w.Epoch != 3 {
+		t.Errorf("worker at step %d epoch %d, want 17, 3", w.Step, w.Epoch)
+	}
+	if err := w.RunSteps(18); err != nil {
+		t.Fatal(err)
+	}
+	if prog.computed != 1 {
+		t.Errorf("computed %d steps, want exactly 1", prog.computed)
+	}
+}

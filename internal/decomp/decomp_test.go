@@ -1,0 +1,317 @@
+package decomp
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSpanCoversGridExactly(t *testing.T) {
+	f := func(g8, p8 uint8) bool {
+		g, p := int(g8)+1, int(p8)%16+1
+		if g < p {
+			g = p
+		}
+		total := 0
+		prevEnd := 0
+		for i := 0; i < p; i++ {
+			off, n := span(g, p, i)
+			if off != prevEnd || n <= 0 {
+				return false
+			}
+			prevEnd = off + n
+			total += n
+		}
+		return total == g
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSpanNearlyUniform(t *testing.T) {
+	// Pieces differ by at most one node.
+	for _, c := range []struct{ g, p int }{{100, 7}, {800, 5}, {500, 4}, {9, 3}, {10, 10}} {
+		min, max := 1<<30, 0
+		for i := 0; i < c.p; i++ {
+			_, n := span(c.g, c.p, i)
+			if n < min {
+				min = n
+			}
+			if n > max {
+				max = n
+			}
+		}
+		if max-min > 1 {
+			t.Errorf("span(%d,%d): piece sizes range [%d,%d]", c.g, c.p, min, max)
+		}
+	}
+}
+
+func TestNew2DBasic(t *testing.T) {
+	d, err := New2D(5, 4, 800, 500, Star)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.P() != 20 || d.Total() != 20 {
+		t.Fatalf("P = %d, Total = %d, want 20, 20", d.P(), d.Total())
+	}
+	s := d.Sub(0, 0)
+	if s.X0 != 0 || s.Y0 != 0 || s.NX != 160 || s.NY != 125 {
+		t.Errorf("sub(0,0) = %+v", s)
+	}
+	// Ranks must be dense and unique.
+	seen := map[int]bool{}
+	for _, s := range d.Subregions() {
+		if seen[s.Rank] {
+			t.Fatalf("duplicate rank %d", s.Rank)
+		}
+		seen[s.Rank] = true
+	}
+}
+
+func TestNew2DErrors(t *testing.T) {
+	if _, err := New2D(0, 4, 100, 100, Star); err == nil {
+		t.Error("accepted zero JX")
+	}
+	if _, err := New2D(5, 4, 4, 100, Star); err == nil {
+		t.Error("accepted grid smaller than decomposition")
+	}
+}
+
+func TestNeighborTopologyStar(t *testing.T) {
+	d, _ := New2D(3, 3, 90, 90, Star)
+	center := d.Sub(1, 1)
+	nbrs := d.Neighbors(center)
+	if len(nbrs) != 4 {
+		t.Fatalf("center has %d star neighbours, want 4", len(nbrs))
+	}
+	if nbrs[West].I != 0 || nbrs[East].I != 2 || nbrs[South].J != 0 || nbrs[North].J != 2 {
+		t.Errorf("bad neighbour positions: %+v", nbrs)
+	}
+	corner := d.Sub(0, 0)
+	if got := len(d.Neighbors(corner)); got != 2 {
+		t.Errorf("corner has %d neighbours, want 2", got)
+	}
+	// Diagonal lookups return nil under a star stencil.
+	if d.Neighbor(center, NorthEast) != nil {
+		t.Error("star stencil returned a diagonal neighbour")
+	}
+}
+
+func TestNeighborTopologyFull(t *testing.T) {
+	d, _ := New2D(3, 3, 90, 90, Full)
+	center := d.Sub(1, 1)
+	if got := len(d.Neighbors(center)); got != 8 {
+		t.Fatalf("center has %d full neighbours, want 8", got)
+	}
+	corner := d.Sub(2, 2)
+	if got := len(d.Neighbors(corner)); got != 3 {
+		t.Errorf("corner has %d full neighbours, want 3", got)
+	}
+}
+
+func TestNeighborReciprocity(t *testing.T) {
+	d, _ := New2D(4, 3, 120, 90, Full)
+	for idx := range d.Subregions() {
+		s := &d.Subregions()[idx]
+		for dir, n := range d.Neighbors(s) {
+			back := d.Neighbor(n, dir.Opposite())
+			if back == nil || back.I != s.I || back.J != s.J {
+				t.Fatalf("neighbour reciprocity broken at (%d,%d) dir %v", s.I, s.J, dir)
+			}
+		}
+	}
+}
+
+func TestDirOppositeInvolution(t *testing.T) {
+	for d := West; d < numDirs; d++ {
+		if d.Opposite().Opposite() != d {
+			t.Errorf("Opposite not an involution for %v", d)
+		}
+		dx, dy := d.Delta()
+		ox, oy := d.Opposite().Delta()
+		if dx != -ox || dy != -oy {
+			t.Errorf("Opposite(%v) delta mismatch", d)
+		}
+	}
+}
+
+func TestDeactivateRenumbers(t *testing.T) {
+	d, _ := New2D(6, 4, 1107, 700, Star)
+	// Mimic figure 2: deactivate 9 all-wall subregions.
+	walls := [][2]int{{0, 0}, {1, 0}, {2, 0}, {3, 0}, {4, 0}, {0, 1}, {5, 3}, {5, 2}, {0, 2}}
+	for _, w := range walls {
+		d.Deactivate(w[0], w[1])
+	}
+	if d.P() != 15 {
+		t.Fatalf("active = %d, want 15", d.P())
+	}
+	// Ranks are dense 0..14 over active subregions.
+	seen := map[int]bool{}
+	for _, s := range d.ActiveSubregions() {
+		if s.Rank < 0 || s.Rank >= 15 || seen[s.Rank] {
+			t.Fatalf("bad rank %d", s.Rank)
+		}
+		seen[s.Rank] = true
+	}
+	// Inactive subregions are not returned as neighbours.
+	s := d.Sub(1, 1)
+	if d.Neighbor(s, South) != nil {
+		t.Error("inactive subregion returned as neighbour")
+	}
+	// ByRank round-trips.
+	for _, s := range d.ActiveSubregions() {
+		got := d.ByRank(s.Rank)
+		if got.I != s.I || got.J != s.J {
+			t.Fatalf("ByRank(%d) = (%d,%d), want (%d,%d)", s.Rank, got.I, got.J, s.I, s.J)
+		}
+	}
+}
+
+func TestDeactivateWalls(t *testing.T) {
+	d, _ := New2D(2, 2, 40, 40, Star)
+	// Left half entirely solid.
+	n := d.DeactivateWalls(func(x, y int) bool { return x < 20 })
+	if n != 2 || d.P() != 2 {
+		t.Fatalf("deactivated %d, active %d; want 2, 2", n, d.P())
+	}
+	if d.Sub(0, 0).Active || d.Sub(0, 1).Active {
+		t.Error("solid subregions still active")
+	}
+	if !d.Sub(1, 0).Active || !d.Sub(1, 1).Active {
+		t.Error("fluid subregions deactivated")
+	}
+}
+
+func TestSurfaceFactorTable(t *testing.T) {
+	// The m table of section 8: (P x 1) -> 2, (2 x 2) -> 2, (3 x 3) -> 3,
+	// (4 x 4) -> 4, (5 x 4) -> 4. PaperM reproduces it verbatim.
+	cases := []struct {
+		jx, jy, want int
+	}{
+		{7, 1, 2}, {2, 2, 2}, {3, 3, 3}, {4, 4, 4}, {5, 4, 4},
+	}
+	for _, c := range cases {
+		d, err := New2D(c.jx, c.jy, 40*c.jx, 40*c.jy, Star)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := d.PaperM(); got != c.want {
+			t.Errorf("PaperM(%d x %d) = %d, want %d", c.jx, c.jy, got, c.want)
+		}
+	}
+}
+
+func TestSurfaceFactorMaxSides(t *testing.T) {
+	d, _ := New2D(5, 4, 200, 160, Star)
+	if got := d.SurfaceFactor(); got != 4 {
+		t.Errorf("SurfaceFactor(5x4) = %d, want 4 (interior subregion)", got)
+	}
+	d1, _ := New2D(6, 1, 120, 20, Star)
+	if got := d1.SurfaceFactor(); got != 2 {
+		t.Errorf("SurfaceFactor(6x1) = %d, want 2", got)
+	}
+}
+
+func TestMeanSideCount(t *testing.T) {
+	d, _ := New2D(3, 3, 90, 90, Star)
+	// 4 corners*2 + 4 edges*3 + 1 center*4 = 24 sides over 9 subregions.
+	want := 24.0 / 9.0
+	if got := d.MeanSideCount(); got != want {
+		t.Errorf("MeanSideCount = %v, want %v", got, want)
+	}
+}
+
+func TestUnsynchronizationBounds(t *testing.T) {
+	// Appendix A: full stencil DN = max(J,K)-1 (eq. 22); star stencil
+	// DN = (J-1)+(K-1) (eq. 23).
+	full, _ := New2D(6, 4, 120, 80, Full)
+	if got := full.MaxUnsyncSteps(); got != 5 {
+		t.Errorf("full-stencil unsync = %d, want 5", got)
+	}
+	star, _ := New2D(6, 4, 120, 80, Star)
+	if got := star.MaxUnsyncSteps(); got != 8 {
+		t.Errorf("star-stencil unsync = %d, want 8", got)
+	}
+}
+
+func TestNew3DBasic(t *testing.T) {
+	d, err := New3D(3, 2, 2, 75, 50, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.P() != 12 {
+		t.Fatalf("P = %d, want 12", d.P())
+	}
+	s := d.Sub(1, 1, 1)
+	if s.X0 != 25 || s.Y0 != 25 || s.Z0 != 25 {
+		t.Errorf("sub(1,1,1) offsets = (%d,%d,%d)", s.X0, s.Y0, s.Z0)
+	}
+	// Full coverage: node counts sum to the grid volume.
+	total := 0
+	for _, s := range d.Subregions() {
+		total += s.Nodes()
+	}
+	if total != 75*50*50 {
+		t.Errorf("total nodes %d != %d", total, 75*50*50)
+	}
+}
+
+func TestNew3DErrors(t *testing.T) {
+	if _, err := New3D(2, 2, 0, 10, 10, 10); err == nil {
+		t.Error("accepted zero JZ")
+	}
+	if _, err := New3D(4, 2, 2, 3, 10, 10); err == nil {
+		t.Error("accepted undersized grid")
+	}
+}
+
+func Test3DNeighborsAndFaces(t *testing.T) {
+	d, _ := New3D(3, 3, 3, 30, 30, 30)
+	center := d.Sub(1, 1, 1)
+	if got := d.FaceCount(center); got != 6 {
+		t.Errorf("center faces = %d, want 6", got)
+	}
+	corner := d.Sub(0, 0, 0)
+	if got := d.FaceCount(corner); got != 3 {
+		t.Errorf("corner faces = %d, want 3", got)
+	}
+	if got := d.SurfaceFactor(); got != 6 {
+		t.Errorf("SurfaceFactor = %d, want 6", got)
+	}
+	// (P x 1 x 1) pencil: m = 2 as used in figure 13.
+	p, _ := New3D(8, 1, 1, 200, 25, 25)
+	if got := p.SurfaceFactor(); got != 2 {
+		t.Errorf("pencil SurfaceFactor = %d, want 2", got)
+	}
+}
+
+func TestDir3OppositeInvolution(t *testing.T) {
+	for d := West3; d < numDirs3; d++ {
+		if d.Opposite().Opposite() != d {
+			t.Errorf("Opposite not an involution for %v", d)
+		}
+		dx, dy, dz := d.Delta()
+		ox, oy, oz := d.Opposite().Delta()
+		if dx != -ox || dy != -oy || dz != -oz {
+			t.Errorf("Opposite(%v) delta mismatch", d)
+		}
+	}
+}
+
+func Test3DNeighborReciprocity(t *testing.T) {
+	d, _ := New3D(2, 3, 2, 20, 30, 20)
+	for idx := range d.Subregions() {
+		s := &d.Subregions()[idx]
+		for _, dir := range Dirs3() {
+			n := d.Neighbor(s, dir)
+			if n == nil {
+				continue
+			}
+			back := d.Neighbor(n, dir.Opposite())
+			if back == nil || back.Rank != s.Rank {
+				t.Fatalf("3D reciprocity broken at rank %d dir %v", s.Rank, dir)
+			}
+		}
+	}
+}

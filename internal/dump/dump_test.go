@@ -1,0 +1,133 @@
+package dump
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func sampleState(rank int) *State {
+	return &State{
+		Rank:   rank,
+		Step:   42,
+		Method: "lb2d",
+		NX:     8, NY: 6, NZ: 1,
+		Fields: map[string][]float64{
+			"rho": {1, 2, 3},
+			"vx":  {0.5, -0.5},
+		},
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := Path(dir, 3)
+	want := sampleState(3)
+	if err := Save(path, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Rank != 3 || got.Step != 42 || got.Method != "lb2d" || got.NX != 8 {
+		t.Errorf("header mismatch: %+v", got)
+	}
+	if len(got.Fields) != 2 || got.Fields["rho"][2] != 3 || got.Fields["vx"][1] != -0.5 {
+		t.Errorf("fields mismatch: %v", got.Fields)
+	}
+}
+
+func TestSaveRejectsInvalid(t *testing.T) {
+	dir := t.TempDir()
+	bad := []*State{
+		{Rank: -1, Step: 0, NX: 1, NY: 1, NZ: 1, Fields: map[string][]float64{"a": nil}},
+		{Rank: 0, Step: -2, NX: 1, NY: 1, NZ: 1, Fields: map[string][]float64{"a": nil}},
+		{Rank: 0, Step: 0, NX: 0, NY: 1, NZ: 1, Fields: map[string][]float64{"a": nil}},
+		{Rank: 0, Step: 0, NX: 1, NY: 1, NZ: 1, Fields: nil},
+	}
+	for i, st := range bad {
+		if err := Save(Path(dir, i), st); err == nil {
+			t.Errorf("invalid state #%d saved", i)
+		}
+	}
+}
+
+func TestLoadMissingAndCorrupt(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := Load(Path(dir, 0)); err == nil {
+		t.Error("loading a missing dump succeeded")
+	}
+	bad := filepath.Join(dir, "corrupt.gob")
+	os.WriteFile(bad, []byte("not a gob stream"), 0o644)
+	if _, err := Load(bad); err == nil {
+		t.Error("loading a corrupt dump succeeded")
+	}
+}
+
+func TestSaveIsAtomic(t *testing.T) {
+	// After Save, no temp files remain and the target parses.
+	dir := t.TempDir()
+	if err := Save(Path(dir, 0), sampleState(0)); err != nil {
+		t.Fatal(err)
+	}
+	entries, _ := os.ReadDir(dir)
+	for _, e := range entries {
+		if e.Name()[0] == '.' {
+			t.Errorf("leftover temp file %s", e.Name())
+		}
+	}
+}
+
+func TestSaveAllLoadAll(t *testing.T) {
+	dir := t.TempDir()
+	seq := NewSequencer(0)
+	states := []*State{sampleState(0), sampleState(1), sampleState(2)}
+	for i, st := range states {
+		st.Rank = i
+	}
+	if err := seq.SaveAll(dir, states); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadAll(dir, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, st := range got {
+		if st.Rank != i {
+			t.Errorf("slot %d holds rank %d", i, st.Rank)
+		}
+	}
+	if _, err := LoadAll(dir, 4); err == nil {
+		t.Error("LoadAll with a missing rank succeeded")
+	}
+}
+
+func TestSequencerSerializesSaves(t *testing.T) {
+	// Two goroutines contend for the token; the gap forces measurable
+	// separation between their save windows.
+	seq := NewSequencer(20 * time.Millisecond)
+	type window struct{ start, end time.Time }
+	ch := make(chan window, 2)
+	for i := 0; i < 2; i++ {
+		go func() {
+			seq.Acquire()
+			w := window{start: time.Now()}
+			time.Sleep(5 * time.Millisecond) // the "save"
+			w.end = time.Now()
+			seq.Release()
+			ch <- w
+		}()
+	}
+	a, b := <-ch, <-ch
+	if a.start.After(b.start) {
+		a, b = b, a
+	}
+	if b.start.Before(a.end) {
+		t.Error("save windows overlap; sequencer failed to serialize")
+	}
+	if gap := b.start.Sub(a.end); gap < 15*time.Millisecond {
+		t.Errorf("inter-save gap %v, want >= ~20ms", gap)
+	}
+}

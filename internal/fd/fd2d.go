@@ -1,0 +1,244 @@
+// Package fd implements the explicit finite-difference method of section 6:
+// a straightforward discretization of the isothermal Navier-Stokes
+// equations 1-3 with centered differences in space and forward Euler in
+// time, on a uniform orthogonal grid with dx = 1.
+//
+// For numerical stability the density equation is updated using the
+// velocities at time t+dt: the velocities are computed first, and the
+// density is computed as a separate step (this ordering makes the acoustic
+// subsystem a symplectic-Euler update, which is neutrally stable where
+// plain forward Euler would grow). The per-cycle sequence is exactly the
+// paper's:
+//
+//	Calculate Vx, Vy   (inner)
+//	Communicate Vx, Vy (boundary)
+//	Calculate rho      (inner)
+//	Communicate rho    (boundary)
+//	Filter rho, Vx, Vy (inner)
+//
+// so the method sends two messages per neighbour per integration step and
+// communicates 3 variables per boundary node in 2D (4 in 3D), the counts
+// that drive its efficiency behaviour in figures 7-8.
+package fd
+
+import (
+	"fmt"
+
+	"repro/internal/decomp"
+	"repro/internal/filter"
+	"repro/internal/fluid"
+	"repro/internal/grid"
+	"repro/internal/halo"
+)
+
+// Solver2D integrates one subregion (or a whole serial domain) of the 2D
+// isothermal Navier-Stokes equations.
+type Solver2D struct {
+	Par fluid.Params
+
+	// Mask gives the cell type at subregion-local coordinates; ghost
+	// offsets (-1, NX, NY) must be answered too (walls beyond the domain,
+	// fluid across a seam).
+	Mask func(x, y int) fluid.CellType
+
+	Rho, Vx, Vy *grid.Field2D // current state, ghost depth 1
+
+	nVx, nVy, nRho *grid.Field2D // next-step buffers
+	scratch        []float64     // filter workspace
+}
+
+// NewSolver2D allocates a solver for an nx-by-ny subregion. The fields are
+// initialized to rho = Rho0, V = 0; callers overwrite them for other
+// initial states.
+func NewSolver2D(nx, ny int, par fluid.Params, mask func(x, y int) fluid.CellType) (*Solver2D, error) {
+	if err := par.Check(); err != nil {
+		return nil, err
+	}
+	if mask == nil {
+		return nil, fmt.Errorf("fd: nil mask")
+	}
+	s := &Solver2D{
+		Par:  par,
+		Mask: mask,
+		Rho:  grid.NewField2D(nx, ny, 1),
+		Vx:   grid.NewField2D(nx, ny, 1),
+		Vy:   grid.NewField2D(nx, ny, 1),
+		nVx:  grid.NewField2D(nx, ny, 1),
+		nVy:  grid.NewField2D(nx, ny, 1),
+		nRho: grid.NewField2D(nx, ny, 1),
+
+		scratch: make([]float64, nx*ny),
+	}
+	s.Rho.Fill(par.Rho0)
+	return s, nil
+}
+
+// Phases returns the number of compute phases per integration step.
+func (s *Solver2D) Phases() int { return 3 }
+
+// Exchanges reports whether a halo exchange follows the given phase.
+// Velocities are exchanged after phase 0 and density after phase 1; the
+// filter phase needs no communication.
+func (s *Solver2D) Exchanges(phase int) bool { return phase == 0 || phase == 1 }
+
+// Compute runs one compute phase on the interior nodes.
+func (s *Solver2D) Compute(phase int) {
+	switch phase {
+	case 0:
+		s.computeVelocity()
+	case 1:
+		s.computeDensity()
+	case 2:
+		s.applyFilter()
+	default:
+		panic(fmt.Sprintf("fd: invalid phase %d", phase))
+	}
+}
+
+// computeVelocity advances Vx, Vy by one forward-Euler step of the momentum
+// equations 2-3 and applies the velocity boundary conditions.
+func (s *Solver2D) computeVelocity() {
+	p := s.Par
+	dt, nu, cs2 := p.Dt, p.Nu, p.Cs*p.Cs
+	for y := 0; y < s.Vx.NY; y++ {
+		for x := 0; x < s.Vx.NX; x++ {
+			switch s.Mask(x, y) {
+			case fluid.Wall:
+				s.nVx.Set(x, y, 0)
+				s.nVy.Set(x, y, 0)
+				continue
+			case fluid.Inlet:
+				s.nVx.Set(x, y, p.InletVx)
+				s.nVy.Set(x, y, p.InletVy)
+				continue
+			case fluid.Outlet:
+				// Open boundary: velocity convects out unchanged.
+				s.nVx.Set(x, y, s.Vx.At(x, y))
+				s.nVy.Set(x, y, s.Vy.At(x, y))
+				continue
+			}
+			vx, vy := s.Vx.At(x, y), s.Vy.At(x, y)
+			rho := s.Rho.At(x, y)
+
+			dVxdx := 0.5 * (s.Vx.At(x+1, y) - s.Vx.At(x-1, y))
+			dVxdy := 0.5 * (s.Vx.At(x, y+1) - s.Vx.At(x, y-1))
+			dVydx := 0.5 * (s.Vy.At(x+1, y) - s.Vy.At(x-1, y))
+			dVydy := 0.5 * (s.Vy.At(x, y+1) - s.Vy.At(x, y-1))
+			dRdx := 0.5 * (s.Rho.At(x+1, y) - s.Rho.At(x-1, y))
+			dRdy := 0.5 * (s.Rho.At(x, y+1) - s.Rho.At(x, y-1))
+			lapVx := s.Vx.At(x+1, y) + s.Vx.At(x-1, y) + s.Vx.At(x, y+1) + s.Vx.At(x, y-1) - 4*vx
+			lapVy := s.Vy.At(x+1, y) + s.Vy.At(x-1, y) + s.Vy.At(x, y+1) + s.Vy.At(x, y-1) - 4*vy
+
+			s.nVx.Set(x, y, vx+dt*(-vx*dVxdx-vy*dVxdy-cs2/rho*dRdx+nu*lapVx+p.ForceX))
+			s.nVy.Set(x, y, vy+dt*(-vx*dVydx-vy*dVydy-cs2/rho*dRdy+nu*lapVy+p.ForceY))
+		}
+	}
+	s.Vx.Swap(s.nVx)
+	s.Vy.Swap(s.nVy)
+}
+
+// computeDensity advances rho by the continuity equation 1 using the
+// just-updated velocities, then applies the density boundary conditions.
+// The flux form conserves mass exactly over the interior.
+func (s *Solver2D) computeDensity() {
+	p := s.Par
+	dt := p.Dt
+	for y := 0; y < s.Rho.NY; y++ {
+		for x := 0; x < s.Rho.NX; x++ {
+			switch s.Mask(x, y) {
+			case fluid.Inlet:
+				s.nRho.Set(x, y, p.InletRho)
+				continue
+			case fluid.Outlet:
+				s.nRho.Set(x, y, p.OutletRho)
+				continue
+			}
+			// Walls evolve by the same flux form; with V = 0 at wall
+			// nodes the normal flux at the wall face vanishes and mass
+			// stays where it is.
+			dFxdx := 0.5 * (s.Rho.At(x+1, y)*s.Vx.At(x+1, y) - s.Rho.At(x-1, y)*s.Vx.At(x-1, y))
+			dFydy := 0.5 * (s.Rho.At(x, y+1)*s.Vy.At(x, y+1) - s.Rho.At(x, y-1)*s.Vy.At(x, y-1))
+			s.nRho.Set(x, y, s.Rho.At(x, y)-dt*(dFxdx+dFydy))
+		}
+	}
+	s.Rho.Swap(s.nRho)
+}
+
+// applyFilter runs the shared fourth-order filter on rho, Vx, Vy.
+func (s *Solver2D) applyFilter() {
+	filter.Apply2D([]*grid.Field2D{s.Rho, s.Vx, s.Vy}, s.Par.Eps, s.Mask, s.scratch)
+}
+
+// fields returns the state fields in the fixed exchange order.
+func (s *Solver2D) fields(phase int) []*grid.Field2D {
+	if phase == 0 {
+		return []*grid.Field2D{s.Vx, s.Vy}
+	}
+	return []*grid.Field2D{s.Rho}
+}
+
+// Pack extracts the boundary data sent to the neighbour at dir after the
+// given phase: the interior edge strips of the fields updated in that
+// phase (ghost-fill convention).
+func (s *Solver2D) Pack(phase int, dir decomp.Dir, buf []float64) []float64 {
+	return halo.PackSend2D(s.fields(phase), dir, true, buf)
+}
+
+// Unpack stores boundary data received from the neighbour at dir into the
+// ghost strips on that side.
+func (s *Solver2D) Unpack(phase int, dir decomp.Dir, buf []float64) {
+	halo.UnpackRecv2D(s.fields(phase), dir, true, buf)
+}
+
+// MsgLen returns the message length (float64 count) for a phase and
+// direction; the transports use it to size receive buffers.
+func (s *Solver2D) MsgLen(phase int, dir decomp.Dir) int {
+	return halo.MsgLen2D(s.fields(phase), dir)
+}
+
+// Stencil returns the neighbour stencil the method needs: star, because
+// centered differences couple axis neighbours only.
+func (s *Solver2D) Stencil() decomp.Stencil { return decomp.Star }
+
+// StepSerial advances a standalone (single-subregion) solver one full step,
+// wrapping or reflecting its own ghosts between phases. periodicX/Y select
+// periodic wrapping; non-periodic sides see walls via the mask.
+func (s *Solver2D) StepSerial(periodicX, periodicY bool) {
+	for ph := 0; ph < s.Phases(); ph++ {
+		s.Compute(ph)
+		if s.Exchanges(ph) {
+			s.selfExchange(ph, periodicX, periodicY)
+		}
+	}
+}
+
+// selfExchange fills ghosts from the solver's own opposite edges (periodic)
+// or leaves them untouched (walls handle non-periodic sides via the mask).
+func (s *Solver2D) selfExchange(phase int, periodicX, periodicY bool) {
+	if periodicX {
+		buf := s.Pack(phase, decomp.East, nil)
+		s.Unpack(phase, decomp.West, buf)
+		buf = s.Pack(phase, decomp.West, buf[:0])
+		s.Unpack(phase, decomp.East, buf)
+	}
+	if periodicY {
+		buf := s.Pack(phase, decomp.North, nil)
+		s.Unpack(phase, decomp.South, buf)
+		buf = s.Pack(phase, decomp.South, buf[:0])
+		s.Unpack(phase, decomp.North, buf)
+	}
+}
+
+// MaxVelocity returns the maximum interior |V| component, a stability probe.
+func (s *Solver2D) MaxVelocity() float64 {
+	mx, my := s.Vx.MaxAbsInterior(), s.Vy.MaxAbsInterior()
+	if mx > my {
+		return mx
+	}
+	return my
+}
+
+// Vorticity computes the curl dVy/dx - dVx/dy at interior node (x, y).
+func (s *Solver2D) Vorticity(x, y int) float64 {
+	return 0.5*(s.Vy.At(x+1, y)-s.Vy.At(x-1, y)) - 0.5*(s.Vx.At(x, y+1)-s.Vx.At(x, y-1))
+}

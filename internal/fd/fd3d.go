@@ -1,0 +1,215 @@
+package fd
+
+import (
+	"fmt"
+
+	"repro/internal/decomp"
+	"repro/internal/filter"
+	"repro/internal/fluid"
+	"repro/internal/grid"
+	"repro/internal/halo"
+)
+
+// Solver3D integrates one box subregion of the 3D isothermal Navier-Stokes
+// equations with the same scheme as Solver2D plus the V_z momentum equation
+// (section 6). It communicates 4 variables per boundary node: Vx, Vy, Vz
+// after the velocity update and rho after the density update.
+type Solver3D struct {
+	Par fluid.Params
+
+	Mask func(x, y, z int) fluid.CellType
+
+	Rho, Vx, Vy, Vz *grid.Field3D
+
+	nVx, nVy, nVz, nRho *grid.Field3D
+	scratch             []float64
+}
+
+// NewSolver3D allocates a 3D solver initialized to rho = Rho0, V = 0.
+func NewSolver3D(nx, ny, nz int, par fluid.Params, mask func(x, y, z int) fluid.CellType) (*Solver3D, error) {
+	if err := par.Check(); err != nil {
+		return nil, err
+	}
+	if mask == nil {
+		return nil, fmt.Errorf("fd: nil mask")
+	}
+	s := &Solver3D{
+		Par:     par,
+		Mask:    mask,
+		Rho:     grid.NewField3D(nx, ny, nz, 1),
+		Vx:      grid.NewField3D(nx, ny, nz, 1),
+		Vy:      grid.NewField3D(nx, ny, nz, 1),
+		Vz:      grid.NewField3D(nx, ny, nz, 1),
+		nVx:     grid.NewField3D(nx, ny, nz, 1),
+		nVy:     grid.NewField3D(nx, ny, nz, 1),
+		nVz:     grid.NewField3D(nx, ny, nz, 1),
+		nRho:    grid.NewField3D(nx, ny, nz, 1),
+		scratch: make([]float64, nx*ny*nz),
+	}
+	s.Rho.Fill(par.Rho0)
+	return s, nil
+}
+
+// Phases returns the number of compute phases per step.
+func (s *Solver3D) Phases() int { return 3 }
+
+// Exchanges reports whether a halo exchange follows the phase.
+func (s *Solver3D) Exchanges(phase int) bool { return phase == 0 || phase == 1 }
+
+// ExchangeDirs returns the faces exchanged after a phase: all six for the
+// velocity and density phases (star stencil, no sweep ordering needed).
+func (s *Solver3D) ExchangeDirs(phase int) []decomp.Dir3 {
+	if s.Exchanges(phase) {
+		return decomp.Dirs3()
+	}
+	return nil
+}
+
+// Compute runs one compute phase.
+func (s *Solver3D) Compute(phase int) {
+	switch phase {
+	case 0:
+		s.computeVelocity()
+	case 1:
+		s.computeDensity()
+	case 2:
+		s.applyFilter()
+	default:
+		panic(fmt.Sprintf("fd: invalid phase %d", phase))
+	}
+}
+
+func (s *Solver3D) computeVelocity() {
+	p := s.Par
+	dt, nu, cs2 := p.Dt, p.Nu, p.Cs*p.Cs
+	for z := 0; z < s.Vx.NZ; z++ {
+		for y := 0; y < s.Vx.NY; y++ {
+			for x := 0; x < s.Vx.NX; x++ {
+				switch s.Mask(x, y, z) {
+				case fluid.Wall:
+					s.nVx.Set(x, y, z, 0)
+					s.nVy.Set(x, y, z, 0)
+					s.nVz.Set(x, y, z, 0)
+					continue
+				case fluid.Inlet:
+					s.nVx.Set(x, y, z, p.InletVx)
+					s.nVy.Set(x, y, z, p.InletVy)
+					s.nVz.Set(x, y, z, p.InletVz)
+					continue
+				case fluid.Outlet:
+					s.nVx.Set(x, y, z, s.Vx.At(x, y, z))
+					s.nVy.Set(x, y, z, s.Vy.At(x, y, z))
+					s.nVz.Set(x, y, z, s.Vz.At(x, y, z))
+					continue
+				}
+				vx, vy, vz := s.Vx.At(x, y, z), s.Vy.At(x, y, z), s.Vz.At(x, y, z)
+				rho := s.Rho.At(x, y, z)
+
+				grad := func(f *grid.Field3D) (gx, gy, gz float64) {
+					gx = 0.5 * (f.At(x+1, y, z) - f.At(x-1, y, z))
+					gy = 0.5 * (f.At(x, y+1, z) - f.At(x, y-1, z))
+					gz = 0.5 * (f.At(x, y, z+1) - f.At(x, y, z-1))
+					return
+				}
+				lap := func(f *grid.Field3D) float64 {
+					return f.At(x+1, y, z) + f.At(x-1, y, z) +
+						f.At(x, y+1, z) + f.At(x, y-1, z) +
+						f.At(x, y, z+1) + f.At(x, y, z-1) - 6*f.At(x, y, z)
+				}
+				gxx, gxy, gxz := grad(s.Vx)
+				gyx, gyy, gyz := grad(s.Vy)
+				gzx, gzy, gzz := grad(s.Vz)
+				rx, ry, rz := grad(s.Rho)
+
+				adv := func(gx, gy, gz float64) float64 { return vx*gx + vy*gy + vz*gz }
+				s.nVx.Set(x, y, z, vx+dt*(-adv(gxx, gxy, gxz)-cs2/rho*rx+nu*lap(s.Vx)+p.ForceX))
+				s.nVy.Set(x, y, z, vy+dt*(-adv(gyx, gyy, gyz)-cs2/rho*ry+nu*lap(s.Vy)+p.ForceY))
+				s.nVz.Set(x, y, z, vz+dt*(-adv(gzx, gzy, gzz)-cs2/rho*rz+nu*lap(s.Vz)+p.ForceZ))
+			}
+		}
+	}
+	s.Vx.Swap(s.nVx)
+	s.Vy.Swap(s.nVy)
+	s.Vz.Swap(s.nVz)
+}
+
+func (s *Solver3D) computeDensity() {
+	p := s.Par
+	dt := p.Dt
+	for z := 0; z < s.Rho.NZ; z++ {
+		for y := 0; y < s.Rho.NY; y++ {
+			for x := 0; x < s.Rho.NX; x++ {
+				switch s.Mask(x, y, z) {
+				case fluid.Inlet:
+					s.nRho.Set(x, y, z, p.InletRho)
+					continue
+				case fluid.Outlet:
+					s.nRho.Set(x, y, z, p.OutletRho)
+					continue
+				}
+				dFx := 0.5 * (s.Rho.At(x+1, y, z)*s.Vx.At(x+1, y, z) - s.Rho.At(x-1, y, z)*s.Vx.At(x-1, y, z))
+				dFy := 0.5 * (s.Rho.At(x, y+1, z)*s.Vy.At(x, y+1, z) - s.Rho.At(x, y-1, z)*s.Vy.At(x, y-1, z))
+				dFz := 0.5 * (s.Rho.At(x, y, z+1)*s.Vz.At(x, y, z+1) - s.Rho.At(x, y, z-1)*s.Vz.At(x, y, z-1))
+				s.nRho.Set(x, y, z, s.Rho.At(x, y, z)-dt*(dFx+dFy+dFz))
+			}
+		}
+	}
+	s.Rho.Swap(s.nRho)
+}
+
+func (s *Solver3D) applyFilter() {
+	filter.Apply3D([]*grid.Field3D{s.Rho, s.Vx, s.Vy, s.Vz}, s.Par.Eps, s.Mask, s.scratch)
+}
+
+func (s *Solver3D) fields(phase int) []*grid.Field3D {
+	if phase == 0 {
+		return []*grid.Field3D{s.Vx, s.Vy, s.Vz}
+	}
+	return []*grid.Field3D{s.Rho}
+}
+
+// Pack extracts the interior face strip sent to the neighbour at dir after
+// the given phase (ghost-fill convention; star stencil, faces only).
+func (s *Solver3D) Pack(phase int, dir decomp.Dir3, buf []float64) []float64 {
+	return halo.PackSend3D(s.fields(phase), dir, true, buf)
+}
+
+// Unpack stores data received from the neighbour at dir into the ghost
+// face strip on that side.
+func (s *Solver3D) Unpack(phase int, dir decomp.Dir3, buf []float64) {
+	halo.UnpackRecv3D(s.fields(phase), dir, true, buf)
+}
+
+// MsgLen returns the message length for a phase and face direction.
+func (s *Solver3D) MsgLen(phase int, dir decomp.Dir3) int {
+	return halo.MsgLen3D(s.fields(phase), dir)
+}
+
+// StepSerial advances a standalone solver one step with periodic wrapping
+// on the requested axes.
+func (s *Solver3D) StepSerial(periodicX, periodicY, periodicZ bool) {
+	for ph := 0; ph < s.Phases(); ph++ {
+		s.Compute(ph)
+		if s.Exchanges(ph) {
+			s.selfExchange(ph, periodicX, periodicY, periodicZ)
+		}
+	}
+}
+
+func (s *Solver3D) selfExchange(phase int, px, py, pz bool) {
+	wrap := func(a, b decomp.Dir3) {
+		buf := s.Pack(phase, a, nil)
+		s.Unpack(phase, b, buf)
+		buf = s.Pack(phase, b, buf[:0])
+		s.Unpack(phase, a, buf)
+	}
+	if px {
+		wrap(decomp.East3, decomp.West3)
+	}
+	if py {
+		wrap(decomp.North3, decomp.South3)
+	}
+	if pz {
+		wrap(decomp.Up3, decomp.Down3)
+	}
+}

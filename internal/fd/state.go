@@ -1,0 +1,71 @@
+package fd
+
+import "fmt"
+
+// MethodName identifies the 2D finite-difference method in dump files.
+func (s *Solver2D) MethodName() string { return "fd2d" }
+
+// DumpFields returns deep copies of the raw field storage (ghosts
+// included), keyed by canonical names, for a migration dump file.
+func (s *Solver2D) DumpFields() map[string][]float64 {
+	cp := func(v []float64) []float64 { return append([]float64(nil), v...) }
+	return map[string][]float64{
+		"rho": cp(s.Rho.Data()),
+		"vx":  cp(s.Vx.Data()),
+		"vy":  cp(s.Vy.Data()),
+	}
+}
+
+// RestoreFields reloads raw field storage from a dump, reproducing the
+// solver state bit-for-bit.
+func (s *Solver2D) RestoreFields(fields map[string][]float64) error {
+	for name, dst := range map[string][]float64{
+		"rho": s.Rho.Data(),
+		"vx":  s.Vx.Data(),
+		"vy":  s.Vy.Data(),
+	} {
+		src, ok := fields[name]
+		if !ok {
+			return fmt.Errorf("fd: dump missing field %q", name)
+		}
+		if len(src) != len(dst) {
+			return fmt.Errorf("fd: field %q has %d values, want %d", name, len(src), len(dst))
+		}
+		copy(dst, src)
+	}
+	return nil
+}
+
+// MethodName identifies the 3D finite-difference method in dump files.
+func (s *Solver3D) MethodName() string { return "fd3d" }
+
+// DumpFields returns deep copies of the raw 3D field storage.
+func (s *Solver3D) DumpFields() map[string][]float64 {
+	cp := func(v []float64) []float64 { return append([]float64(nil), v...) }
+	return map[string][]float64{
+		"rho": cp(s.Rho.Data()),
+		"vx":  cp(s.Vx.Data()),
+		"vy":  cp(s.Vy.Data()),
+		"vz":  cp(s.Vz.Data()),
+	}
+}
+
+// RestoreFields reloads raw 3D field storage from a dump.
+func (s *Solver3D) RestoreFields(fields map[string][]float64) error {
+	for name, dst := range map[string][]float64{
+		"rho": s.Rho.Data(),
+		"vx":  s.Vx.Data(),
+		"vy":  s.Vy.Data(),
+		"vz":  s.Vz.Data(),
+	} {
+		src, ok := fields[name]
+		if !ok {
+			return fmt.Errorf("fd: dump missing field %q", name)
+		}
+		if len(src) != len(dst) {
+			return fmt.Errorf("fd: field %q has %d values, want %d", name, len(src), len(dst))
+		}
+		copy(dst, src)
+	}
+	return nil
+}

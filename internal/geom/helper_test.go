@@ -1,0 +1,18 @@
+package geom
+
+import (
+	"testing"
+
+	"repro/internal/fluid"
+	"repro/internal/lbm"
+)
+
+// newLBSolver wraps lbm.NewSolver2D for geometry smoke tests.
+func newLBSolver(t *testing.T, nx, ny int, p fluid.Params, m *fluid.Mask2D) *lbm.Solver2D {
+	t.Helper()
+	s, err := lbm.NewSolver2D(nx, ny, p, func(x, y int) fluid.CellType { return m.At(x, y) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}

@@ -1,0 +1,75 @@
+package halo
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/decomp"
+	"repro/internal/grid"
+)
+
+// TestExtractInjectProperty: for any region inside any field, inject
+// (extract (f)) reproduces exactly the region and touches nothing else.
+func TestExtractInjectProperty(t *testing.T) {
+	f := func(nx8, ny8, x8, y8, w8, h8 uint8) bool {
+		nx, ny := int(nx8%20)+3, int(ny8%20)+3
+		x0, y0 := int(x8%uint8(nx))-1, int(y8%uint8(ny))-1
+		w, h := int(w8)%(nx-x0)+1, int(h8)%(ny-y0)+1
+		if x0+w > nx+1 || y0+h > ny+1 {
+			return true // region exceeds the ghost shell; skip
+		}
+		src := grid.NewField2D(nx, ny, 1)
+		for y := -1; y <= ny; y++ {
+			for x := -1; x <= nx; x++ {
+				src.Set(x, y, float64(1000*y+x))
+			}
+		}
+		r := Region2D{X0: x0, Y0: y0, NX: w, NY: h}
+		buf := Extract2D(src, r, nil)
+		dst := grid.NewField2D(nx, ny, 1)
+		dst.Fill(-9)
+		Inject2D(dst, r, buf)
+		for y := -1; y <= ny; y++ {
+			for x := -1; x <= nx; x++ {
+				in := x >= x0 && x < x0+w && y >= y0 && y < y0+h
+				want := -9.0
+				if in {
+					want = src.At(x, y)
+				}
+				if dst.At(x, y) != want {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSendRecvRegionsComplementProperty: for every direction and field
+// shape, the ghost-fill send region (interior) and receive region (ghost)
+// are disjoint, equal-sized, and offset by exactly the side's normal
+// times the interior extent.
+func TestSendRecvRegionsComplementProperty(t *testing.T) {
+	f := func(nx8, ny8, dir8 uint8) bool {
+		nx, ny := int(nx8%30)+2, int(ny8%30)+2
+		dir := decomp.Dir(dir8 % 8)
+		fl := grid.NewField2D(nx, ny, 1)
+		send := SendInterior2D(fl, dir)
+		recv := RecvGhost2D(fl, dir)
+		if send.Len() != recv.Len() || send.Len() == 0 {
+			return false
+		}
+		// Disjoint: interior strips live in [0, n), ghost strips outside.
+		inInterior := send.X0 >= 0 && send.Y0 >= 0 &&
+			send.X0+send.NX <= nx && send.Y0+send.NY <= ny
+		outInterior := recv.X0 < 0 || recv.Y0 < 0 ||
+			recv.X0+recv.NX > nx || recv.Y0+recv.NY > ny
+		return inInterior && outInterior
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,232 @@
+package halo
+
+import (
+	"testing"
+
+	"repro/internal/decomp"
+	"repro/internal/grid"
+)
+
+// fillCoords stamps each node (ghosts included) with a unique value.
+func fillCoords(f *grid.Field2D) {
+	for y := -f.H; y < f.NY+f.H; y++ {
+		for x := -f.H; x < f.NX+f.H; x++ {
+			f.Set(x, y, float64(1000*y+x))
+		}
+	}
+}
+
+func TestExtractInjectRoundTrip(t *testing.T) {
+	f := grid.NewField2D(6, 5, 1)
+	fillCoords(f)
+	r := Region2D{X0: 2, Y0: 1, NX: 3, NY: 2}
+	buf := Extract2D(f, r, nil)
+	if len(buf) != r.Len() {
+		t.Fatalf("extracted %d values, want %d", len(buf), r.Len())
+	}
+	g := grid.NewField2D(6, 5, 1)
+	rest := Inject2D(g, r, buf)
+	if len(rest) != 0 {
+		t.Fatalf("leftover %d values", len(rest))
+	}
+	for y := 1; y < 3; y++ {
+		for x := 2; x < 5; x++ {
+			if g.At(x, y) != f.At(x, y) {
+				t.Errorf("(%d,%d): got %v want %v", x, y, g.At(x, y), f.At(x, y))
+			}
+		}
+	}
+	// Outside the region g is untouched.
+	if g.At(0, 0) != 0 || g.At(5, 4) != 0 {
+		t.Error("Inject2D wrote outside the region")
+	}
+}
+
+func TestSideRegionsGeometry(t *testing.T) {
+	f := grid.NewField2D(8, 5, 2)
+	cases := []struct {
+		dir  decomp.Dir
+		send Region2D
+		recv Region2D
+	}{
+		{decomp.West, Region2D{0, 0, 2, 5}, Region2D{-2, 0, 2, 5}},
+		{decomp.East, Region2D{6, 0, 2, 5}, Region2D{8, 0, 2, 5}},
+		{decomp.South, Region2D{0, 0, 8, 2}, Region2D{0, -2, 8, 2}},
+		{decomp.North, Region2D{0, 3, 8, 2}, Region2D{0, 5, 8, 2}},
+		{decomp.SouthWest, Region2D{0, 0, 2, 2}, Region2D{-2, -2, 2, 2}},
+		{decomp.NorthEast, Region2D{6, 3, 2, 2}, Region2D{8, 5, 2, 2}},
+	}
+	for _, c := range cases {
+		if got := SendInterior2D(f, c.dir); got != c.send {
+			t.Errorf("SendInterior2D(%v) = %v, want %v", c.dir, got, c.send)
+		}
+		if got := RecvGhost2D(f, c.dir); got != c.recv {
+			t.Errorf("RecvGhost2D(%v) = %v, want %v", c.dir, got, c.recv)
+		}
+		// Outflow-delivery regions mirror ghost-fill regions.
+		if got := SendGhost2D(f, c.dir); got != c.recv {
+			t.Errorf("SendGhost2D(%v) = %v, want %v", c.dir, got, c.recv)
+		}
+		if got := RecvInterior2D(f, c.dir); got != c.send {
+			t.Errorf("RecvInterior2D(%v) = %v, want %v", c.dir, got, c.send)
+		}
+	}
+}
+
+// TestGhostFillExchange wires two side-by-side fields and checks that a
+// West-East exchange reproduces a contiguous global grid: the ghost column
+// of each equals the interior edge of the other.
+func TestGhostFillExchange(t *testing.T) {
+	left := grid.NewField2D(4, 3, 1)
+	right := grid.NewField2D(4, 3, 1)
+	// Global coordinates: left covers x 0..3, right covers x 4..7.
+	for y := 0; y < 3; y++ {
+		for x := 0; x < 4; x++ {
+			left.Set(x, y, float64(100*y+x))
+			right.Set(x, y, float64(100*y+x+4))
+		}
+	}
+	// left sends East interior edge -> right's West ghost, and vice versa.
+	buf := Extract2D(left, SendInterior2D(left, decomp.East), nil)
+	Inject2D(right, RecvGhost2D(right, decomp.West), buf)
+	buf = Extract2D(right, SendInterior2D(right, decomp.West), nil)
+	Inject2D(left, RecvGhost2D(left, decomp.East), buf)
+
+	for y := 0; y < 3; y++ {
+		if got, want := right.At(-1, y), float64(100*y+3); got != want {
+			t.Errorf("right ghost (-1,%d) = %v, want %v", y, got, want)
+		}
+		if got, want := left.At(4, y), float64(100*y+4); got != want {
+			t.Errorf("left ghost (4,%d) = %v, want %v", y, got, want)
+		}
+	}
+}
+
+func TestPackUnpackMultiField(t *testing.T) {
+	a := grid.NewField2D(5, 4, 1)
+	b := grid.NewField2D(5, 4, 1)
+	fillCoords(a)
+	for y := -1; y < 5; y++ {
+		for x := -1; x < 6; x++ {
+			b.Set(x, y, float64(-(1000*y + x)))
+		}
+	}
+	fields := []*grid.Field2D{a, b}
+	buf := PackSend2D(fields, decomp.North, true, nil)
+	if len(buf) != MsgLen2D(fields, decomp.North) {
+		t.Fatalf("message length %d, want %d", len(buf), MsgLen2D(fields, decomp.North))
+	}
+	// Receiver side: two fresh fields; the buffer fills their South ghosts
+	// (data from the neighbour to the South arrives from direction South).
+	ra := grid.NewField2D(5, 4, 1)
+	rb := grid.NewField2D(5, 4, 1)
+	UnpackRecv2D([]*grid.Field2D{ra, rb}, decomp.South, true, buf)
+	for x := 0; x < 5; x++ {
+		if got, want := ra.At(x, -1), a.At(x, 3); got != want {
+			t.Errorf("ra ghost (%d,-1) = %v, want %v", x, got, want)
+		}
+		if got, want := rb.At(x, -1), b.At(x, 3); got != want {
+			t.Errorf("rb ghost (%d,-1) = %v, want %v", x, got, want)
+		}
+	}
+}
+
+func TestUnpackLengthMismatchPanics(t *testing.T) {
+	f := grid.NewField2D(4, 4, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("UnpackRecv2D with oversized buffer did not panic")
+		}
+	}()
+	buf := make([]float64, RecvGhost2D(f, decomp.West).Len()+3)
+	UnpackRecv2D([]*grid.Field2D{f}, decomp.West, true, buf)
+}
+
+func fillCoords3(f *grid.Field3D) {
+	for z := -f.H; z < f.NZ+f.H; z++ {
+		for y := -f.H; y < f.NY+f.H; y++ {
+			for x := -f.H; x < f.NX+f.H; x++ {
+				f.Set(x, y, z, float64(10000*z+100*y+x))
+			}
+		}
+	}
+}
+
+func TestExtractInject3DRoundTrip(t *testing.T) {
+	f := grid.NewField3D(4, 4, 4, 1)
+	fillCoords3(f)
+	r := Region3D{X0: 1, Y0: 0, Z0: 2, NX: 2, NY: 3, NZ: 2}
+	buf := Extract3D(f, r, nil)
+	if len(buf) != r.Len() {
+		t.Fatalf("extracted %d, want %d", len(buf), r.Len())
+	}
+	g := grid.NewField3D(4, 4, 4, 1)
+	Inject3D(g, r, buf)
+	for z := 2; z < 4; z++ {
+		for y := 0; y < 3; y++ {
+			for x := 1; x < 3; x++ {
+				if g.At(x, y, z) != f.At(x, y, z) {
+					t.Fatalf("(%d,%d,%d) mismatch", x, y, z)
+				}
+			}
+		}
+	}
+}
+
+func TestFaceRegions3D(t *testing.T) {
+	f := grid.NewField3D(5, 6, 7, 1)
+	cases := []struct {
+		dir  decomp.Dir3
+		send Region3D
+		recv Region3D
+	}{
+		{decomp.West3, Region3D{0, 0, 0, 1, 6, 7}, Region3D{-1, 0, 0, 1, 6, 7}},
+		{decomp.East3, Region3D{4, 0, 0, 1, 6, 7}, Region3D{5, 0, 0, 1, 6, 7}},
+		{decomp.North3, Region3D{0, 5, 0, 5, 1, 7}, Region3D{0, 6, 0, 5, 1, 7}},
+		{decomp.Up3, Region3D{0, 0, 6, 5, 6, 1}, Region3D{0, 0, 7, 5, 6, 1}},
+	}
+	for _, c := range cases {
+		if got := SendInterior3D(f, c.dir); got != c.send {
+			t.Errorf("SendInterior3D(%v) = %v, want %v", c.dir, got, c.send)
+		}
+		if got := RecvGhost3D(f, c.dir); got != c.recv {
+			t.Errorf("RecvGhost3D(%v) = %v, want %v", c.dir, got, c.recv)
+		}
+	}
+}
+
+func TestGhostFillExchange3D(t *testing.T) {
+	lo := grid.NewField3D(3, 3, 3, 1)
+	hi := grid.NewField3D(3, 3, 3, 1)
+	// Stacked in z: lo covers z 0..2, hi covers z 3..5.
+	for z := 0; z < 3; z++ {
+		for y := 0; y < 3; y++ {
+			for x := 0; x < 3; x++ {
+				lo.Set(x, y, z, float64(100*z+10*y+x))
+				hi.Set(x, y, z, float64(100*(z+3)+10*y+x))
+			}
+		}
+	}
+	buf := PackSend3D([]*grid.Field3D{lo}, decomp.Up3, true, nil)
+	UnpackRecv3D([]*grid.Field3D{hi}, decomp.Down3, true, buf)
+	buf = PackSend3D([]*grid.Field3D{hi}, decomp.Down3, true, nil)
+	UnpackRecv3D([]*grid.Field3D{lo}, decomp.Up3, true, buf)
+	for y := 0; y < 3; y++ {
+		for x := 0; x < 3; x++ {
+			if got, want := hi.At(x, y, -1), float64(100*2+10*y+x); got != want {
+				t.Errorf("hi ghost (%d,%d,-1) = %v, want %v", x, y, got, want)
+			}
+			if got, want := lo.At(x, y, 3), float64(100*3+10*y+x); got != want {
+				t.Errorf("lo ghost (%d,%d,3) = %v, want %v", x, y, got, want)
+			}
+		}
+	}
+}
+
+func TestMsgLen3DCounts(t *testing.T) {
+	f := grid.NewField3D(10, 20, 30, 1)
+	fields := []*grid.Field3D{f, f, f, f, f} // 5 variables as in 3D LB
+	if got := MsgLen3D(fields, decomp.East3); got != 5*20*30 {
+		t.Errorf("MsgLen3D = %d, want %d", got, 5*20*30)
+	}
+}

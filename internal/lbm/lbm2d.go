@@ -1,0 +1,415 @@
+// Package lbm implements the lattice Boltzmann method of section 6 (and
+// Skordos, Phys. Rev. E 48:4823): a relaxation algorithm that represents
+// the fluid by population variables F_i alongside the traditional fluid
+// variables rho, Vx, Vy. Each cycle the populations are relaxed toward a
+// local equilibrium computed from the (filtered) fluid variables, shifted
+// to the nearest neighbours of each node, and the fluid variables are
+// recomputed from the shifted populations. The per-cycle sequence is the
+// paper's:
+//
+//	Relax F_i                     (inner)
+//	Shift F_i                     (inner)
+//	Communicate: send/recv F_i    (boundary)
+//	Calculate rho, Vx, Vy from F_i (inner)
+//	Filter rho, Vx, Vy            (inner)
+//
+// One message per neighbour per step; in 2D only the three D2Q9
+// populations crossing each side are communicated (3 variables per
+// boundary node), in 3D the five D3Q15 populations crossing each face
+// (5 variables per node) — the counts of section 6 that drive the
+// method's communication behaviour in the performance figures.
+//
+// The lattice is D2Q9 in two dimensions (D3Q15 in three), with BGK
+// relaxation; solid walls use full-way bounce-back, which places the
+// physical wall half-way between the wall node and the adjacent fluid node.
+package lbm
+
+import (
+	"fmt"
+
+	"repro/internal/decomp"
+	"repro/internal/filter"
+	"repro/internal/fluid"
+	"repro/internal/grid"
+	"repro/internal/halo"
+)
+
+// Q2 is the number of D2Q9 populations.
+const Q2 = 9
+
+// D2Q9 lattice vectors. Index 0 is the rest population; 1-4 are the axis
+// directions; 5-8 the diagonals.
+var (
+	cx2 = [Q2]int{0, 1, 0, -1, 0, 1, -1, -1, 1}
+	cy2 = [Q2]int{0, 0, 1, 0, -1, 1, 1, -1, -1}
+	w2  = [Q2]float64{4.0 / 9, 1.0 / 9, 1.0 / 9, 1.0 / 9, 1.0 / 9,
+		1.0 / 36, 1.0 / 36, 1.0 / 36, 1.0 / 36}
+	opp2 = [Q2]int{0, 3, 4, 1, 2, 7, 8, 5, 6}
+)
+
+// outgoing2 lists, for each 2D direction, the population indices whose
+// lattice vector points into that direction's neighbour: the populations
+// that must be communicated across that side or corner.
+var outgoing2 = map[decomp.Dir][]int{
+	decomp.East:      {1, 5, 8},
+	decomp.West:      {3, 6, 7},
+	decomp.North:     {2, 5, 6},
+	decomp.South:     {4, 7, 8},
+	decomp.NorthEast: {5},
+	decomp.NorthWest: {6},
+	decomp.SouthWest: {7},
+	decomp.SouthEast: {8},
+}
+
+// NuFromTau returns the kinematic viscosity of the BGK lattice with
+// relaxation time tau: nu = (tau - 1/2) / 3 (dx = dt = 1, c_s^2 = 1/3).
+func NuFromTau(tau float64) float64 { return (tau - 0.5) / 3 }
+
+// TauFromNu is the inverse of NuFromTau.
+func TauFromNu(nu float64) float64 { return 3*nu + 0.5 }
+
+// Solver2D integrates one subregion with the D2Q9 lattice Boltzmann method.
+type Solver2D struct {
+	Par fluid.Params
+	Tau float64 // BGK relaxation time, from Par.Nu
+
+	Mask func(x, y int) fluid.CellType
+
+	F  [Q2]*grid.Field2D // populations, ghost depth 1
+	nF [Q2]*grid.Field2D // post-shift buffers
+
+	Rho, Vx, Vy *grid.Field2D // fluid variables (ghost layers unused)
+
+	scratch []float64
+}
+
+// NewSolver2D allocates a D2Q9 solver for an nx-by-ny subregion,
+// initialized to equilibrium at rho = Rho0, V = 0. The LB sound speed is
+// fixed at c_s = 1/sqrt(3); Par.Cs is ignored by this method.
+func NewSolver2D(nx, ny int, par fluid.Params, mask func(x, y int) fluid.CellType) (*Solver2D, error) {
+	if err := par.Check(); err != nil {
+		return nil, err
+	}
+	if mask == nil {
+		return nil, fmt.Errorf("lbm: nil mask")
+	}
+	s := &Solver2D{
+		Par:     par,
+		Tau:     TauFromNu(par.Nu),
+		Mask:    mask,
+		Rho:     grid.NewField2D(nx, ny, 1),
+		Vx:      grid.NewField2D(nx, ny, 1),
+		Vy:      grid.NewField2D(nx, ny, 1),
+		scratch: make([]float64, nx*ny),
+	}
+	for i := 0; i < Q2; i++ {
+		s.F[i] = grid.NewField2D(nx, ny, 1)
+		s.nF[i] = grid.NewField2D(nx, ny, 1)
+	}
+	s.Rho.Fill(par.Rho0)
+	s.InitEquilibrium()
+	return s, nil
+}
+
+// InitEquilibrium sets every interior fluid population to the equilibrium
+// of the current Rho, Vx, Vy fields, and zeroes ghost and wall populations.
+// Zero ghosts and empty walls make closed domain boundaries exactly
+// mass-neutral: wall nodes carry only populations in bounce-back transit,
+// receive nothing from beyond the domain, and reflect nothing spurious, so
+// total population mass is conserved to machine precision from step zero.
+// Ghosts on periodic or seam sides are overwritten by the exchange before
+// they are ever read.
+func (s *Solver2D) InitEquilibrium() {
+	for y := -1; y <= s.Rho.NY; y++ {
+		for x := -1; x <= s.Rho.NX; x++ {
+			ghost := x < 0 || x >= s.Rho.NX || y < 0 || y >= s.Rho.NY
+			if ghost || s.Mask(x, y) == fluid.Wall {
+				for i := 0; i < Q2; i++ {
+					s.F[i].Set(x, y, 0)
+				}
+				continue
+			}
+			for i := 0; i < Q2; i++ {
+				s.F[i].Set(x, y, feq2(i, s.Rho.At(x, y), s.Vx.At(x, y), s.Vy.At(x, y)))
+			}
+		}
+	}
+}
+
+// feq2 is the D2Q9 BGK equilibrium distribution.
+func feq2(i int, rho, vx, vy float64) float64 {
+	cu := float64(cx2[i])*vx + float64(cy2[i])*vy
+	v2 := vx*vx + vy*vy
+	return w2[i] * rho * (1 + 3*cu + 4.5*cu*cu - 1.5*v2)
+}
+
+// Phases returns the number of compute phases per step: relax+shift (with
+// exchange after), then macroscopics+filter.
+func (s *Solver2D) Phases() int { return 2 }
+
+// Exchanges reports whether a halo exchange follows the phase; only the
+// relax+shift phase communicates (one message per neighbour per step).
+func (s *Solver2D) Exchanges(phase int) bool { return phase == 0 }
+
+// Compute runs one compute phase.
+func (s *Solver2D) Compute(phase int) {
+	switch phase {
+	case 0:
+		s.relax()
+		s.shift()
+	case 1:
+		s.macroscopics()
+		s.applyFilter()
+	default:
+		panic(fmt.Sprintf("lbm: invalid phase %d", phase))
+	}
+}
+
+// relax applies BGK relaxation toward the equilibrium of the (filtered)
+// fluid variables at every interior node, bounce-back at walls, and
+// equilibrium forcing at inlets and outlets. A body force enters as the
+// standard first-order population shift 3 w_i rho (c_i . g).
+func (s *Solver2D) relax() {
+	p := s.Par
+	invTau := 1 / s.Tau
+	forced := p.ForceX != 0 || p.ForceY != 0
+	for y := 0; y < s.Rho.NY; y++ {
+		for x := 0; x < s.Rho.NX; x++ {
+			switch s.Mask(x, y) {
+			case fluid.Wall:
+				// Full-way bounce-back: reflect the populations that
+				// streamed into the wall during the previous step.
+				for i := 1; i < Q2; i++ {
+					if j := opp2[i]; j > i {
+						a, b := s.F[i].At(x, y), s.F[j].At(x, y)
+						s.F[i].Set(x, y, b)
+						s.F[j].Set(x, y, a)
+					}
+				}
+				continue
+			case fluid.Inlet:
+				for i := 0; i < Q2; i++ {
+					s.F[i].Set(x, y, feq2(i, p.InletRho, p.InletVx, p.InletVy))
+				}
+				continue
+			case fluid.Outlet:
+				// Prescribed density, local velocity: anchors the mean
+				// pressure while letting flow leave.
+				vx, vy := s.Vx.At(x, y), s.Vy.At(x, y)
+				for i := 0; i < Q2; i++ {
+					s.F[i].Set(x, y, feq2(i, p.OutletRho, vx, vy))
+				}
+				continue
+			}
+			rho, vx, vy := s.Rho.At(x, y), s.Vx.At(x, y), s.Vy.At(x, y)
+			for i := 0; i < Q2; i++ {
+				f := s.F[i].At(x, y)
+				s.F[i].Set(x, y, f+(feq2(i, rho, vx, vy)-f)*invTau)
+			}
+			if forced {
+				for i := 1; i < Q2; i++ {
+					cg := float64(cx2[i])*p.ForceX + float64(cy2[i])*p.ForceY
+					s.F[i].Add(x, y, 3*w2[i]*rho*cg)
+				}
+			}
+		}
+	}
+}
+
+// shift streams the relaxed populations to the nearest neighbours: every
+// interior target gathers from its upwind neighbour, and ghost targets
+// collect the outflow that the exchange will deliver to neighbouring
+// subregions. Interior edge values computed from stale ghosts are
+// overwritten by the incoming exchange data.
+func (s *Solver2D) shift() {
+	nx, ny := s.Rho.NX, s.Rho.NY
+	for i := 0; i < Q2; i++ {
+		dx, dy := cx2[i], cy2[i]
+		src, dst := s.F[i], s.nF[i]
+		for y := 0; y < ny; y++ {
+			for x := 0; x < nx; x++ {
+				dst.Set(x, y, src.At(x-dx, y-dy))
+			}
+		}
+		if dx != 0 || dy != 0 {
+			// Outflow into ghost targets: source is the interior edge.
+			for _, g := range ghostTargets(nx, ny, dx, dy) {
+				dst.Set(g[0], g[1], src.At(g[0]-dx, g[1]-dy))
+			}
+		}
+		src.Swap(dst)
+	}
+}
+
+// ghostTargets returns the ghost nodes that population (dx, dy) streams
+// into from interior sources.
+func ghostTargets(nx, ny, dx, dy int) [][2]int {
+	var out [][2]int
+	gx := -1
+	if dx > 0 {
+		gx = nx
+	}
+	gy := -1
+	if dy > 0 {
+		gy = ny
+	}
+	switch {
+	case dx != 0 && dy != 0: // diagonal: one edge strip each + the corner
+		for y := 0; y < ny; y++ {
+			out = append(out, [2]int{gx, y})
+		}
+		for x := 0; x < nx; x++ {
+			out = append(out, [2]int{x, gy})
+		}
+		out = append(out, [2]int{gx, gy})
+	case dx != 0:
+		for y := 0; y < ny; y++ {
+			out = append(out, [2]int{gx, y})
+		}
+	default:
+		for x := 0; x < nx; x++ {
+			out = append(out, [2]int{x, gy})
+		}
+	}
+	return out
+}
+
+// macroscopics recomputes rho, Vx, Vy from the populations at interior
+// nodes. Wall nodes keep rho = Rho0, V = 0: their populations are in
+// bounce-back transit and carry no fluid state.
+func (s *Solver2D) macroscopics() {
+	for y := 0; y < s.Rho.NY; y++ {
+		for x := 0; x < s.Rho.NX; x++ {
+			if s.Mask(x, y) == fluid.Wall {
+				s.Rho.Set(x, y, s.Par.Rho0)
+				s.Vx.Set(x, y, 0)
+				s.Vy.Set(x, y, 0)
+				continue
+			}
+			rho, mx, my := 0.0, 0.0, 0.0
+			for i := 0; i < Q2; i++ {
+				f := s.F[i].At(x, y)
+				rho += f
+				mx += f * float64(cx2[i])
+				my += f * float64(cy2[i])
+			}
+			s.Rho.Set(x, y, rho)
+			s.Vx.Set(x, y, mx/rho)
+			s.Vy.Set(x, y, my/rho)
+		}
+	}
+}
+
+func (s *Solver2D) applyFilter() {
+	filter.Apply2D([]*grid.Field2D{s.Rho, s.Vx, s.Vy}, s.Par.Eps, s.Mask, s.scratch)
+}
+
+// sendRegion returns the ghost-strip region of population i's outflow
+// toward dir, trimmed so that every packed value was sourced from this
+// subregion's interior. A diagonal population on a side strip skips the
+// one node whose source lies outside the interior: that value travels on
+// the corner path of the adjacent neighbour instead, so trimming keeps
+// exactly one writer per receiving node.
+func (s *Solver2D) sendRegion(i int, dir decomp.Dir) halo.Region2D {
+	r := halo.SendGhost2D(s.F[i], dir)
+	return trim2(r, dir, cx2[i], cy2[i])
+}
+
+// recvRegion returns the interior-edge region where population i arriving
+// from dir is stored; it mirrors the sender's trimmed region.
+func (s *Solver2D) recvRegion(i int, dir decomp.Dir) halo.Region2D {
+	r := halo.RecvInterior2D(s.F[i], dir)
+	return trim2(r, dir.Opposite(), cx2[i], cy2[i])
+}
+
+// trim2 clips a side strip for a population moving with lattice vector
+// (dx, dy) crossing side dir: along a vertical side the strip loses the
+// node at the end the population slants away from, and symmetrically for
+// horizontal sides. Corner regions (1x1) are never trimmed.
+func trim2(r halo.Region2D, dir decomp.Dir, dx, dy int) halo.Region2D {
+	switch dir {
+	case decomp.East, decomp.West:
+		if dy > 0 {
+			r.Y0, r.NY = r.Y0+1, r.NY-1
+		} else if dy < 0 {
+			r.NY--
+		}
+	case decomp.North, decomp.South:
+		if dx > 0 {
+			r.X0, r.NX = r.X0+1, r.NX-1
+		} else if dx < 0 {
+			r.NX--
+		}
+	}
+	return r
+}
+
+// Pack extracts, for the neighbour at dir, the populations streaming into
+// it (outflow-delivery convention; all boundary data in one message).
+func (s *Solver2D) Pack(phase int, dir decomp.Dir, buf []float64) []float64 {
+	for _, i := range outgoing2[dir] {
+		buf = halo.Extract2D(s.F[i], s.sendRegion(i, dir), buf)
+	}
+	return buf
+}
+
+// Unpack stores populations received from the neighbour at dir into the
+// interior edge strip on that side. The sender packed its outgoing
+// populations for direction Opposite(dir), which are exactly the
+// populations entering this subregion from dir.
+func (s *Solver2D) Unpack(phase int, dir decomp.Dir, buf []float64) {
+	for _, i := range outgoing2[dir.Opposite()] {
+		buf = halo.Inject2D(s.F[i], s.recvRegion(i, dir), buf)
+	}
+	if len(buf) != 0 {
+		panic(fmt.Sprintf("lbm: %d leftover values after unpack", len(buf)))
+	}
+}
+
+// MsgLen returns the message length for a direction: roughly 3 populations
+// per side node (exactly 3L-2 per side of length L after corner trimming),
+// 1 value per corner.
+func (s *Solver2D) MsgLen(phase int, dir decomp.Dir) int {
+	n := 0
+	for _, i := range outgoing2[dir] {
+		n += s.sendRegion(i, dir).Len()
+	}
+	return n
+}
+
+// Stencil returns the neighbour stencil: full, because diagonal
+// populations cross subregion corners.
+func (s *Solver2D) Stencil() decomp.Stencil { return decomp.Full }
+
+// StepSerial advances a standalone solver one step with periodic wrapping
+// on the requested axes.
+func (s *Solver2D) StepSerial(periodicX, periodicY bool) {
+	s.Compute(0)
+	s.selfExchange(periodicX, periodicY)
+	s.Compute(1)
+}
+
+// selfExchange wraps outflow back into the solver's own opposite edges.
+func (s *Solver2D) selfExchange(periodicX, periodicY bool) {
+	var dirs []decomp.Dir
+	if periodicX {
+		dirs = append(dirs, decomp.East, decomp.West)
+	}
+	if periodicY {
+		dirs = append(dirs, decomp.North, decomp.South)
+	}
+	if periodicX && periodicY {
+		dirs = append(dirs, decomp.NorthEast, decomp.NorthWest, decomp.SouthEast, decomp.SouthWest)
+	}
+	var buf []float64
+	for _, d := range dirs {
+		buf = s.Pack(0, d, buf[:0])
+		s.Unpack(0, d.Opposite(), buf)
+	}
+}
+
+// Vorticity computes the curl at interior node (x, y) by centered
+// differences of the fluid velocity.
+func (s *Solver2D) Vorticity(x, y int) float64 {
+	return 0.5*(s.Vy.At(x+1, y)-s.Vy.At(x-1, y)) - 0.5*(s.Vx.At(x, y+1)-s.Vx.At(x, y-1))
+}

@@ -1,0 +1,86 @@
+package lbm
+
+import "fmt"
+
+// MethodName identifies the 2D lattice Boltzmann method in dump files.
+func (s *Solver2D) MethodName() string { return "lb2d" }
+
+// DumpFields returns deep copies of the populations and fluid variables
+// (raw storage, ghosts included).
+func (s *Solver2D) DumpFields() map[string][]float64 {
+	cp := func(v []float64) []float64 { return append([]float64(nil), v...) }
+	out := map[string][]float64{
+		"rho": cp(s.Rho.Data()),
+		"vx":  cp(s.Vx.Data()),
+		"vy":  cp(s.Vy.Data()),
+	}
+	for i := 0; i < Q2; i++ {
+		out[fmt.Sprintf("f%d", i)] = cp(s.F[i].Data())
+	}
+	return out
+}
+
+// RestoreFields reloads populations and fluid variables from a dump.
+func (s *Solver2D) RestoreFields(fields map[string][]float64) error {
+	dsts := map[string][]float64{
+		"rho": s.Rho.Data(),
+		"vx":  s.Vx.Data(),
+		"vy":  s.Vy.Data(),
+	}
+	for i := 0; i < Q2; i++ {
+		dsts[fmt.Sprintf("f%d", i)] = s.F[i].Data()
+	}
+	for name, dst := range dsts {
+		src, ok := fields[name]
+		if !ok {
+			return fmt.Errorf("lbm: dump missing field %q", name)
+		}
+		if len(src) != len(dst) {
+			return fmt.Errorf("lbm: field %q has %d values, want %d", name, len(src), len(dst))
+		}
+		copy(dst, src)
+	}
+	return nil
+}
+
+// MethodName identifies the 3D lattice Boltzmann method in dump files.
+func (s *Solver3D) MethodName() string { return "lb3d" }
+
+// DumpFields returns deep copies of the 3D populations and fluid variables.
+func (s *Solver3D) DumpFields() map[string][]float64 {
+	cp := func(v []float64) []float64 { return append([]float64(nil), v...) }
+	out := map[string][]float64{
+		"rho": cp(s.Rho.Data()),
+		"vx":  cp(s.Vx.Data()),
+		"vy":  cp(s.Vy.Data()),
+		"vz":  cp(s.Vz.Data()),
+	}
+	for i := 0; i < Q3; i++ {
+		out[fmt.Sprintf("f%d", i)] = cp(s.F[i].Data())
+	}
+	return out
+}
+
+// RestoreFields reloads the 3D populations and fluid variables.
+func (s *Solver3D) RestoreFields(fields map[string][]float64) error {
+	dsts := map[string][]float64{
+		"rho": s.Rho.Data(),
+		"vx":  s.Vx.Data(),
+		"vy":  s.Vy.Data(),
+		"vz":  s.Vz.Data(),
+	}
+	for i := 0; i < Q3; i++ {
+		dsts[fmt.Sprintf("f%d", i)] = s.F[i].Data()
+	}
+	for name, dst := range dsts {
+		src, ok := fields[name]
+		if !ok {
+			return fmt.Errorf("lbm: dump missing field %q", name)
+		}
+		if len(src) != len(dst) {
+			return fmt.Errorf("lbm: field %q has %d values, want %d", name, len(src), len(dst))
+		}
+		copy(dst, src)
+	}
+	return nil
+}

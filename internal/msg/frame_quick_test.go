@@ -1,0 +1,71 @@
+package msg
+
+import (
+	"bytes"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// TestFrameRoundTripProperty: any message survives the TCP frame encoding.
+func TestFrameRoundTripProperty(t *testing.T) {
+	f := func(from uint8, step int16, phase uint8, dir uint8, data []float64) bool {
+		in := Message{
+			From:  int(from),
+			Step:  int(step),
+			Phase: int(phase % 8),
+			Dir:   int(dir % 8),
+			Data:  data,
+		}
+		var buf bytes.Buffer
+		if err := writeFrame(&buf, in); err != nil {
+			return false
+		}
+		out, err := readFrame(&buf)
+		if err != nil {
+			return false
+		}
+		if out.From != in.From || out.Step != in.Step || out.Phase != in.Phase || out.Dir != in.Dir {
+			return false
+		}
+		if len(out.Data) != len(in.Data) {
+			return false
+		}
+		for i := range in.Data {
+			a, b := in.Data[i], out.Data[i]
+			if a != b && !(math.IsNaN(a) && math.IsNaN(b)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestDatagramRoundTripProperty: the UDP data-datagram encoding preserves
+// messages bit-for-bit too.
+func TestDatagramRoundTripProperty(t *testing.T) {
+	f := func(seq uint32, from uint8, step int16, data []float64) bool {
+		in := Message{From: int(from), Step: int(step), Data: data}
+		pkt := encodeData(seq, in)
+		out, err := decodeFrame(pkt[8:])
+		if err != nil {
+			return false
+		}
+		if out.From != in.From || out.Step != in.Step || len(out.Data) != len(in.Data) {
+			return false
+		}
+		for i := range in.Data {
+			a, b := in.Data[i], out.Data[i]
+			if a != b && !(math.IsNaN(a) && math.IsNaN(b)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

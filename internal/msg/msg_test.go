@@ -1,0 +1,301 @@
+package msg
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/registry"
+)
+
+func TestChanRoundTrip(t *testing.T) {
+	hub := NewHub()
+	a, b := hub.Join(0), hub.Join(1)
+	defer a.Close()
+	defer b.Close()
+
+	want := Message{To: 1, Step: 7, Phase: 1, Dir: 3, Data: []float64{1.5, -2.5, 3.25}}
+	if err := a.Send(want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := b.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.From != 0 || got.Step != 7 || got.Phase != 1 || got.Dir != 3 {
+		t.Errorf("header mismatch: %+v", got)
+	}
+	for i, v := range want.Data {
+		if got.Data[i] != v {
+			t.Errorf("payload[%d] = %v, want %v", i, got.Data[i], v)
+		}
+	}
+}
+
+func TestChanPayloadIsCopied(t *testing.T) {
+	hub := NewHub()
+	a, b := hub.Join(0), hub.Join(1)
+	defer a.Close()
+	defer b.Close()
+	buf := []float64{1, 2, 3}
+	if err := a.Send(Message{To: 1, Data: buf}); err != nil {
+		t.Fatal(err)
+	}
+	buf[0] = 99 // sender reuses its pack buffer
+	got, _ := b.Recv()
+	if got.Data[0] != 1 {
+		t.Error("transport aliased the sender's buffer")
+	}
+}
+
+func TestChanSendToUnknownRank(t *testing.T) {
+	hub := NewHub()
+	a := hub.Join(0)
+	defer a.Close()
+	if err := a.Send(Message{To: 42}); err == nil {
+		t.Error("send to unjoined rank succeeded")
+	}
+}
+
+func TestChanCloseUnblocksRecv(t *testing.T) {
+	hub := NewHub()
+	a := hub.Join(0)
+	done := make(chan error)
+	go func() {
+		_, err := a.Recv()
+		done <- err
+	}()
+	time.Sleep(5 * time.Millisecond)
+	a.Close()
+	select {
+	case err := <-done:
+		if err != ErrClosed {
+			t.Errorf("Recv after close = %v, want ErrClosed", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Recv did not unblock on Close")
+	}
+	if err := a.Send(Message{To: 0}); err != ErrClosed {
+		t.Errorf("Send after close = %v, want ErrClosed", err)
+	}
+}
+
+func TestChanFCFSAcrossPeers(t *testing.T) {
+	hub := NewHub()
+	r := hub.Join(0)
+	defer r.Close()
+	const peers = 5
+	for p := 1; p <= peers; p++ {
+		s := hub.Join(p)
+		if err := s.Send(Message{To: 0, Step: p}); err != nil {
+			t.Fatal(err)
+		}
+		s.Close()
+	}
+	seen := map[int]bool{}
+	for i := 0; i < peers; i++ {
+		m, err := r.Recv()
+		if err != nil {
+			t.Fatal(err)
+		}
+		seen[m.From] = true
+	}
+	if len(seen) != peers {
+		t.Errorf("received from %d distinct peers, want %d", len(seen), peers)
+	}
+}
+
+func newTCPPair(t *testing.T) (*TCP, *TCP) {
+	t.Helper()
+	reg, err := registry.New(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := NewTCP(0, 0, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewTCP(1, 0, reg)
+	if err != nil {
+		a.Close()
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { a.Close(); b.Close() })
+	return a, b
+}
+
+func TestTCPRoundTrip(t *testing.T) {
+	a, b := newTCPPair(t)
+	data := make([]float64, 1000)
+	for i := range data {
+		data[i] = float64(i) * 0.5
+	}
+	if err := a.Send(Message{To: 1, Step: 3, Phase: 0, Dir: 1, Data: data}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := b.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.From != 0 || got.To != 1 || got.Step != 3 {
+		t.Errorf("header mismatch: %+v", got)
+	}
+	for i := range data {
+		if got.Data[i] != data[i] {
+			t.Fatalf("payload[%d] = %v, want %v", i, got.Data[i], data[i])
+		}
+	}
+}
+
+func TestTCPBidirectionalSingleConnection(t *testing.T) {
+	// After a dials b, replies from b to a must flow without b dialing
+	// back (the paper's channels are bidirectional FIFOs).
+	a, b := newTCPPair(t)
+	if err := a.Send(Message{To: 1, Step: 1, Data: []float64{1}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Recv(); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Send(Message{To: 0, Step: 2, Data: []float64{2}}); err != nil {
+		t.Fatal(err)
+	}
+	m, err := a.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.From != 1 || m.Step != 2 || m.Data[0] != 2 {
+		t.Errorf("reply mismatch: %+v", m)
+	}
+}
+
+func TestTCPEmptyPayload(t *testing.T) {
+	a, b := newTCPPair(t)
+	if err := a.Send(Message{To: 1, Step: 9}); err != nil {
+		t.Fatal(err)
+	}
+	m, err := b.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Step != 9 || len(m.Data) != 0 {
+		t.Errorf("empty-payload message mangled: %+v", m)
+	}
+}
+
+func TestTCPRing(t *testing.T) {
+	// A ring of workers exchanging with both neighbours for several
+	// steps: the standard communication pattern of a (P x 1)
+	// decomposition.
+	const P = 6
+	const steps = 20
+	reg, err := registry.New(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := make([]*TCP, P)
+	for i := range ts {
+		tt, err := NewTCP(i, 0, reg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ts[i] = tt
+		defer tt.Close()
+	}
+	var wg sync.WaitGroup
+	errCh := make(chan error, P)
+	for i := 0; i < P; i++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			tr := ts[rank]
+			left, right := (rank+P-1)%P, (rank+1)%P
+			for s := 0; s < steps; s++ {
+				payload := []float64{float64(rank), float64(s)}
+				if err := tr.Send(Message{To: left, Step: s, Dir: 0, Data: payload}); err != nil {
+					errCh <- err
+					return
+				}
+				if err := tr.Send(Message{To: right, Step: s, Dir: 1, Data: payload}); err != nil {
+					errCh <- err
+					return
+				}
+				for n := 0; n < 2; n++ {
+					m, err := tr.Recv()
+					if err != nil {
+						errCh <- err
+						return
+					}
+					if m.From != left && m.From != right {
+						errCh <- fmt.Errorf("rank %d got message from %d", rank, m.From)
+						return
+					}
+					if int(m.Data[0]) != m.From {
+						errCh <- fmt.Errorf("rank %d payload/from mismatch", rank)
+						return
+					}
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Error(err)
+	}
+}
+
+func TestTCPCloseUnblocksRecv(t *testing.T) {
+	reg, _ := registry.New(t.TempDir())
+	a, err := NewTCP(0, 0, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error)
+	go func() {
+		_, err := a.Recv()
+		done <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	a.Close()
+	select {
+	case err := <-done:
+		if err != ErrClosed {
+			t.Errorf("Recv after close = %v, want ErrClosed", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Recv did not unblock")
+	}
+}
+
+func TestTCPEpochIsolation(t *testing.T) {
+	// A transport in epoch 1 must not connect to a peer published only in
+	// epoch 0: re-opened channels after migration use fresh addresses.
+	reg, _ := registry.New(t.TempDir())
+	reg.Poll = time.Millisecond
+	a, err := NewTCP(0, 0, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := NewTCP(1, 1, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	if _, err := reg.Lookup(1, 0, 50*time.Millisecond); err == nil {
+		t.Error("epoch-1 lookup found an epoch-0 address")
+	}
+}
+
+func TestFrameRejectsGarbage(t *testing.T) {
+	r, w := newPipe()
+	go func() {
+		w.Write([]byte("this is not a frame header......"))
+		w.Close()
+	}()
+	if _, err := readFrame(r); err == nil {
+		t.Error("garbage frame accepted")
+	}
+}

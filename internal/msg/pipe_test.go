@@ -1,0 +1,9 @@
+package msg
+
+import "io"
+
+// newPipe returns an in-memory reader/writer pair for frame-level tests.
+func newPipe() (io.Reader, io.WriteCloser) {
+	r, w := io.Pipe()
+	return r, w
+}

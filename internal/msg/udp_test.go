@@ -1,0 +1,213 @@
+package msg
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/registry"
+)
+
+func newUDPPair(t *testing.T) (*UDP, *UDP) {
+	t.Helper()
+	reg, err := registry.New(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := NewUDP(0, 0, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewUDP(1, 0, reg)
+	if err != nil {
+		a.Close()
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { a.Close(); b.Close() })
+	return a, b
+}
+
+func TestUDPRoundTrip(t *testing.T) {
+	a, b := newUDPPair(t)
+	data := []float64{1.5, -2.25, 1e-300, 0}
+	if err := a.Send(Message{To: 1, Step: 5, Phase: 1, Dir: 2, Data: data}); err != nil {
+		t.Fatal(err)
+	}
+	m, err := b.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.From != 0 || m.Step != 5 || m.Phase != 1 || m.Dir != 2 {
+		t.Errorf("header mismatch: %+v", m)
+	}
+	for i := range data {
+		if m.Data[i] != data[i] {
+			t.Errorf("payload[%d] = %v, want %v", i, m.Data[i], data[i])
+		}
+	}
+	// The ack should land and clear the unacked buffer.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if a.Stats().Acked == 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("ack never arrived: %+v", a.Stats())
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestUDPRetransmissionDelivers drops every first transmission; the
+// retransmit loop must still deliver each message exactly once — the
+// "considerable effort" appendix D describes, done.
+func TestUDPRetransmissionDelivers(t *testing.T) {
+	a, b := newUDPPair(t)
+	var mu sync.Mutex
+	dropNext := map[int]bool{}
+	i := 0
+	a.Drop = func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		i++
+		dropNext[i] = true
+		return true // drop every initial send; only retransmits get through
+	}
+	const n = 5
+	for k := 0; k < n; k++ {
+		if err := a.Send(Message{To: 1, Step: k, Data: []float64{float64(k)}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := map[int]bool{}
+	for k := 0; k < n; k++ {
+		m, err := b.Recv()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got[m.Step] {
+			t.Fatalf("duplicate delivery of step %d", m.Step)
+		}
+		got[m.Step] = true
+		if m.Data[0] != float64(m.Step) {
+			t.Errorf("payload mismatch: %+v", m)
+		}
+	}
+	if st := a.Stats(); st.Retransmitted == 0 {
+		t.Error("no retransmissions recorded despite dropped sends")
+	}
+}
+
+// TestUDPDuplicateSuppression: retransmits of an already-delivered
+// datagram (lost ack) must not surface twice.
+func TestUDPDuplicateSuppression(t *testing.T) {
+	a, b := newUDPPair(t)
+	// Shorten the retransmit interval race window by sending normally:
+	// the first copy arrives, and before the ack is processed a
+	// retransmission may fire; either way b must deliver exactly once.
+	for k := 0; k < 20; k++ {
+		if err := a.Send(Message{To: 1, Step: k, Data: []float64{1}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	seen := map[int]bool{}
+	for k := 0; k < 20; k++ {
+		m, err := b.Recv()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seen[m.Step] {
+			t.Fatalf("step %d delivered twice", m.Step)
+		}
+		seen[m.Step] = true
+	}
+	// No further deliveries should be pending.
+	select {
+	case m := <-b.recv:
+		t.Fatalf("unexpected extra message: %+v", m)
+	case <-time.After(3 * DefaultRetransmit):
+	}
+}
+
+func TestUDPOversizedPayloadRejected(t *testing.T) {
+	a, _ := newUDPPair(t)
+	big := make([]float64, udpMaxPayload/8+1)
+	if err := a.Send(Message{To: 1, Data: big}); err == nil {
+		t.Error("oversized datagram accepted")
+	}
+}
+
+func TestUDPCloseUnblocksRecv(t *testing.T) {
+	reg, _ := registry.New(t.TempDir())
+	u, err := NewUDP(0, 0, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error)
+	go func() {
+		_, err := u.Recv()
+		done <- err
+	}()
+	time.Sleep(5 * time.Millisecond)
+	u.Close()
+	select {
+	case err := <-done:
+		if err != ErrClosed {
+			t.Errorf("Recv after close = %v, want ErrClosed", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Recv did not unblock")
+	}
+	if err := u.Send(Message{To: 1}); err != ErrClosed {
+		t.Errorf("Send after close = %v, want ErrClosed", err)
+	}
+}
+
+func TestUDPRing(t *testing.T) {
+	const P = 4
+	const steps = 10
+	reg, err := registry.New(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	us := make([]*UDP, P)
+	for i := range us {
+		u, err := NewUDP(i, 0, reg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		us[i] = u
+		defer u.Close()
+	}
+	var wg sync.WaitGroup
+	errCh := make(chan error, P)
+	for i := 0; i < P; i++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			u := us[rank]
+			left, right := (rank+P-1)%P, (rank+1)%P
+			for s := 0; s < steps; s++ {
+				if err := u.Send(Message{To: left, Step: s, Data: []float64{float64(rank)}}); err != nil {
+					errCh <- err
+					return
+				}
+				if err := u.Send(Message{To: right, Step: s, Data: []float64{float64(rank)}}); err != nil {
+					errCh <- err
+					return
+				}
+				for n := 0; n < 2; n++ {
+					if _, err := u.Recv(); err != nil {
+						errCh <- err
+						return
+					}
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,184 @@
+package perf
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/decomp"
+)
+
+// Method names reused from the cluster speed table.
+const (
+	LB2D = "lb2d"
+	FD2D = "fd2d"
+	LB3D = "lb3d"
+	FD3D = "fd3d"
+)
+
+// phaseFractions splits a method's per-step compute across its phases.
+// The splits reflect the relative operation counts of the kernels; the
+// efficiency results are insensitive to them because only the total
+// compute and the message pattern matter at the step scale.
+func phaseFractions(method string) []float64 {
+	switch method {
+	case LB2D:
+		// relax+shift, then macroscopics+filter.
+		return []float64{0.8, 0.2}
+	case FD2D, FD3D:
+		// velocity update, density update, filter.
+		return []float64{0.55, 0.25, 0.20}
+	case LB3D:
+		// relax, two sweep barriers, shift+macroscopics+filter.
+		return []float64{0.5, 0, 0, 0.5}
+	}
+	panic(fmt.Sprintf("perf: unknown method %q", method))
+}
+
+const bytesPerValue = 8
+
+// Build2D constructs the per-step pattern of a 2D decomposition running
+// the given method on the given hosts (hosts[rank] serves rank). Message
+// sizes follow section 6: the lattice Boltzmann method sends one message
+// per neighbour carrying 3 values per boundary node (plus single-value
+// corner messages), the finite-difference method two messages per side
+// neighbour carrying 2 and 1 values per boundary node.
+func Build2D(d *decomp.Decomp2D, method string, hosts []*cluster.Host) ([]WorkerSpec, error) {
+	if len(hosts) < d.P() {
+		return nil, fmt.Errorf("perf: %d hosts for %d subregions", len(hosts), d.P())
+	}
+	fracs := phaseFractions(method)
+	specs := make([]WorkerSpec, d.P())
+	for rank := 0; rank < d.P(); rank++ {
+		sub := d.ByRank(rank)
+		w := WorkerSpec{
+			Rank:           rank,
+			StepComputeSec: float64(sub.Nodes()) / hosts[rank].Speed(method),
+			PhaseFrac:      fracs,
+			Out:            make([][]OutMsg, len(fracs)),
+			Expect:         make([]int, len(fracs)),
+		}
+		sideLen := func(dir decomp.Dir) int {
+			if dir == decomp.West || dir == decomp.East {
+				return sub.NY
+			}
+			return sub.NX
+		}
+		switch method {
+		case LB2D:
+			// One message per neighbour after phase 0; sides carry the
+			// three crossing populations (3L-2 values after corner
+			// trimming), corners one value.
+			for _, dir := range decomp.Dirs(decomp.Full) {
+				n := d.Neighbor(sub, dir)
+				if n == nil {
+					continue
+				}
+				values := 1 // corner
+				if dir == decomp.West || dir == decomp.East || dir == decomp.South || dir == decomp.North {
+					values = 3*sideLen(dir) - 2
+				}
+				w.Out[0] = append(w.Out[0], OutMsg{Dst: n.Rank, Bytes: values * bytesPerValue})
+				w.Expect[0]++
+			}
+		case FD2D:
+			// Two messages per side neighbour: velocities (2 values per
+			// boundary node) after phase 0, density (1 value) after
+			// phase 1.
+			for _, dir := range decomp.Dirs(decomp.Star) {
+				n := d.Neighbor(sub, dir)
+				if n == nil {
+					continue
+				}
+				w.Out[0] = append(w.Out[0], OutMsg{Dst: n.Rank, Bytes: 2 * sideLen(dir) * bytesPerValue})
+				w.Expect[0]++
+				w.Out[1] = append(w.Out[1], OutMsg{Dst: n.Rank, Bytes: 1 * sideLen(dir) * bytesPerValue})
+				w.Expect[1]++
+			}
+		default:
+			return nil, fmt.Errorf("perf: method %q is not 2D", method)
+		}
+		specs[rank] = w
+	}
+	return specs, nil
+}
+
+// Build3D constructs the pattern of a 3D decomposition: LB sends the five
+// crossing populations per face node in its x/y/z sweep phases, FD sends
+// velocities (3 values) then density (1 value) per face node.
+func Build3D(d *decomp.Decomp3D, method string, hosts []*cluster.Host) ([]WorkerSpec, error) {
+	if len(hosts) < d.P() {
+		return nil, fmt.Errorf("perf: %d hosts for %d subregions", len(hosts), d.P())
+	}
+	fracs := phaseFractions(method)
+	specs := make([]WorkerSpec, d.P())
+	for rank := 0; rank < d.P(); rank++ {
+		sub := d.ByRank(rank)
+		w := WorkerSpec{
+			Rank:           rank,
+			StepComputeSec: float64(sub.Nodes()) / hosts[rank].Speed(method),
+			PhaseFrac:      fracs,
+			Out:            make([][]OutMsg, len(fracs)),
+			Expect:         make([]int, len(fracs)),
+		}
+		faceArea := func(dir decomp.Dir3) int {
+			switch dir {
+			case decomp.West3, decomp.East3:
+				return sub.NY * sub.NZ
+			case decomp.South3, decomp.North3:
+				return sub.NX * sub.NZ
+			default:
+				return sub.NX * sub.NY
+			}
+		}
+		switch method {
+		case LB3D:
+			phaseOf := map[decomp.Dir3]int{
+				decomp.West3: 0, decomp.East3: 0,
+				decomp.South3: 1, decomp.North3: 1,
+				decomp.Down3: 2, decomp.Up3: 2,
+			}
+			for _, dir := range decomp.Dirs3() {
+				n := d.Neighbor(sub, dir)
+				if n == nil {
+					continue
+				}
+				ph := phaseOf[dir]
+				w.Out[ph] = append(w.Out[ph], OutMsg{Dst: n.Rank, Bytes: 5 * faceArea(dir) * bytesPerValue})
+				w.Expect[ph]++
+			}
+		case FD3D:
+			for _, dir := range decomp.Dirs3() {
+				n := d.Neighbor(sub, dir)
+				if n == nil {
+					continue
+				}
+				w.Out[0] = append(w.Out[0], OutMsg{Dst: n.Rank, Bytes: 3 * faceArea(dir) * bytesPerValue})
+				w.Expect[0]++
+				w.Out[1] = append(w.Out[1], OutMsg{Dst: n.Rank, Bytes: 1 * faceArea(dir) * bytesPerValue})
+				w.Expect[1]++
+			}
+		default:
+			return nil, fmt.Errorf("perf: method %q is not 3D", method)
+		}
+		specs[rank] = w
+	}
+	return specs, nil
+}
+
+// Hosts715 returns n idle 715/50 hosts, the normalization reference of
+// section 7 ("it makes sense to normalize our results using the
+// performance of the 715 model").
+func Hosts715(n int) []*cluster.Host {
+	hosts := make([]*cluster.Host, n)
+	for i := range hosts {
+		hosts[i] = cluster.NewHost(fmt.Sprintf("hp715-%02d", i), cluster.HP715)
+	}
+	return hosts
+}
+
+// SerialTime returns T_1: the time one idle 715/50 needs to integrate the
+// whole problem of totalNodes for one step.
+func SerialTime(totalNodes int, method string) float64 {
+	h := cluster.NewHost("ref", cluster.HP715)
+	return float64(totalNodes) / h.Speed(method)
+}

@@ -1,0 +1,125 @@
+// Package viz renders gathered simulation fields: binary PGM images (the
+// equi-vorticity plots of figures 1-2) and ASCII contour maps for
+// terminals. Only the standard library is used.
+package viz
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+
+	"repro/internal/fluid"
+)
+
+// WritePGM writes a row-major field as an 8-bit binary PGM image, mapping
+// [lo, hi] linearly to [0, 255]. The image's first row is the field's top
+// (y = ny-1), matching the paper's figure orientation.
+func WritePGM(w io.Writer, nx, ny int, f []float64, lo, hi float64) error {
+	if len(f) != nx*ny {
+		return fmt.Errorf("viz: field has %d values, want %d", len(f), nx*ny)
+	}
+	if hi <= lo {
+		return fmt.Errorf("viz: empty value range [%g, %g]", lo, hi)
+	}
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "P5\n%d %d\n255\n", nx, ny)
+	for y := ny - 1; y >= 0; y-- {
+		for x := 0; x < nx; x++ {
+			v := (f[y*nx+x] - lo) / (hi - lo)
+			if v < 0 {
+				v = 0
+			}
+			if v > 1 {
+				v = 1
+			}
+			if err := bw.WriteByte(byte(v * 255)); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// SymmetricRange returns (-a, a) where a is the maximum absolute value of
+// the field, suitable for signed quantities like vorticity; zero fields get
+// (-1, 1) so rendering never divides by zero.
+func SymmetricRange(f []float64) (lo, hi float64) {
+	a := 0.0
+	for _, v := range f {
+		if x := math.Abs(v); x > a {
+			a = x
+		}
+	}
+	if a == 0 {
+		a = 1
+	}
+	return -a, a
+}
+
+// vortGlyphs maps signed magnitude buckets to characters: capital letters
+// for counter-clockwise vorticity, lower-case for clockwise.
+var vortGlyphs = []byte(" .:-=+*#%@")
+
+// ASCIIVorticity renders a vorticity field with the wall mask overlaid
+// (walls are '#', inlets '>', outlets '<'), downsampled to at most width
+// columns. Positive and negative vorticity share the magnitude ramp;
+// negative cells are marked by 'o' at high magnitude.
+func ASCIIVorticity(nx, ny int, vort []float64, mask *fluid.Mask2D, width int) string {
+	if width <= 0 || width > nx {
+		width = nx
+	}
+	step := nx / width
+	if step < 1 {
+		step = 1
+	}
+	_, hi := SymmetricRange(vort)
+	var out []byte
+	for y := ny - 1; y >= 0; y -= step {
+		for x := 0; x < nx; x += step {
+			switch mask.At(x, y) {
+			case fluid.Wall:
+				out = append(out, '#')
+				continue
+			case fluid.Inlet:
+				out = append(out, '>')
+				continue
+			case fluid.Outlet:
+				out = append(out, '<')
+				continue
+			}
+			v := vort[y*nx+x] / hi // in [-1, 1]
+			mag := math.Abs(v)
+			idx := int(mag * float64(len(vortGlyphs)-1))
+			if idx >= len(vortGlyphs) {
+				idx = len(vortGlyphs) - 1
+			}
+			g := vortGlyphs[idx]
+			if v < -0.3 && g != ' ' {
+				g = 'o'
+			}
+			out = append(out, g)
+		}
+		out = append(out, '\n')
+	}
+	return string(out)
+}
+
+// SeriesTable formats (x, y) series as an aligned text table, the output
+// format of cmd/experiments: one row per x value, one column per series.
+func SeriesTable(xName string, labels []string, xs []float64, ys [][]float64) string {
+	var out []byte
+	out = append(out, fmt.Sprintf("%-12s", xName)...)
+	for _, l := range labels {
+		out = append(out, fmt.Sprintf(" %14s", l)...)
+	}
+	out = append(out, '\n')
+	for i, x := range xs {
+		out = append(out, fmt.Sprintf("%-12.4g", x)...)
+		for s := range labels {
+			out = append(out, fmt.Sprintf(" %14.4f", ys[s][i])...)
+		}
+		out = append(out, '\n')
+	}
+	return string(out)
+}

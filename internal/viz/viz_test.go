@@ -1,0 +1,103 @@
+package viz
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/fluid"
+)
+
+func TestWritePGM(t *testing.T) {
+	var buf bytes.Buffer
+	f := []float64{0, 0.5, 1, 0.25, 0.75, 1}
+	if err := WritePGM(&buf, 3, 2, f, 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.Bytes()
+	if !bytes.HasPrefix(out, []byte("P5\n3 2\n255\n")) {
+		t.Fatalf("bad header: %q", out[:12])
+	}
+	pix := out[len("P5\n3 2\n255\n"):]
+	if len(pix) != 6 {
+		t.Fatalf("pixel count %d", len(pix))
+	}
+	// First row written is y=1 (top): values 0.25, 0.75, 1.
+	if pix[0] != byte(63) || pix[2] != 255 {
+		t.Errorf("top row pixels: %v", pix[:3])
+	}
+	// Clamping out-of-range values.
+	buf.Reset()
+	if err := WritePGM(&buf, 1, 1, []float64{99}, 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if b := buf.Bytes()[len(buf.Bytes())-1]; b != 255 {
+		t.Errorf("clamped pixel %d, want 255", b)
+	}
+}
+
+func TestWritePGMErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WritePGM(&buf, 2, 2, []float64{1}, 0, 1); err == nil {
+		t.Error("short field accepted")
+	}
+	if err := WritePGM(&buf, 1, 1, []float64{0}, 1, 1); err == nil {
+		t.Error("empty range accepted")
+	}
+}
+
+func TestSymmetricRange(t *testing.T) {
+	lo, hi := SymmetricRange([]float64{-0.2, 0.5, -0.7})
+	if lo != -0.7 || hi != 0.7 {
+		t.Errorf("range (%v, %v), want (-0.7, 0.7)", lo, hi)
+	}
+	lo, hi = SymmetricRange([]float64{0, 0})
+	if lo != -1 || hi != 1 {
+		t.Errorf("zero-field range (%v, %v), want (-1, 1)", lo, hi)
+	}
+}
+
+func TestASCIIVorticity(t *testing.T) {
+	nx, ny := 8, 4
+	m := fluid.NewMask2D(nx, ny)
+	m.Border(fluid.Wall)
+	m.Set(0, 2, fluid.Inlet)
+	m.Set(nx-1, 2, fluid.Outlet)
+	vort := make([]float64, nx*ny)
+	vort[2*nx+4] = 1.0  // strong CCW cell
+	vort[1*nx+4] = -1.0 // strong CW cell
+	out := ASCIIVorticity(nx, ny, vort, m, nx)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != ny {
+		t.Fatalf("%d lines, want %d", len(lines), ny)
+	}
+	if !strings.Contains(out, "#") {
+		t.Error("walls not rendered")
+	}
+	if !strings.Contains(out, ">") || !strings.Contains(out, "<") {
+		t.Error("inlet/outlet not rendered")
+	}
+	// Row y=2 is the second line from the top (ny-1-2 = 1).
+	if lines[1][4] != '@' {
+		t.Errorf("strong vorticity cell rendered as %q", lines[1][4])
+	}
+	if lines[2][4] != 'o' {
+		t.Errorf("negative vorticity cell rendered as %q", lines[2][4])
+	}
+}
+
+func TestSeriesTable(t *testing.T) {
+	out := SeriesTable("sqrt(N)", []string{"(2x2)", "(5x4)"},
+		[]float64{100, 200},
+		[][]float64{{0.9, 0.95}, {0.6, 0.8}})
+	if !strings.Contains(out, "sqrt(N)") || !strings.Contains(out, "(5x4)") {
+		t.Error("missing headers")
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("%d lines, want 3", len(lines))
+	}
+	if !strings.Contains(lines[1], "0.9000") || !strings.Contains(lines[2], "0.8000") {
+		t.Errorf("values missing: %q", out)
+	}
+}
