@@ -13,7 +13,9 @@
 // Experiments: speed-table, mtable, fig5, fig6, fig7, fig8, fig9, fig10,
 // fig11, fig12, fig13, ablation, migration, convergence, networks
 // (the conclusion's switched/FDDI/ATM outlook), balancing (section 1.1's
-// migration-versus-dynamic-allocation comparison).
+// migration-versus-dynamic-allocation comparison), farm (the multi-job
+// scheduler: FIFO vs priority vs weighted-fair on a fixed workload mix).
+// `-list` prints the available names sorted, one per line.
 package main
 
 import (
@@ -21,6 +23,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"sort"
 	"strings"
 
 	"repro/internal/cluster"
@@ -34,6 +37,7 @@ import (
 
 func main() {
 	exp := flag.String("exp", "all", "experiment to run (or 'all')")
+	list := flag.Bool("list", false, "print the available experiment names (sorted) and exit")
 	flag.Parse()
 
 	all := map[string]func(){
@@ -53,11 +57,23 @@ func main() {
 		"convergence": convergence,
 		"networks":    futureNetworks,
 		"balancing":   balancing,
+		"farm":        farm,
 	}
 	order := []string{
 		"speed-table", "mtable", "fig5", "fig6", "fig7", "fig8", "fig9",
 		"fig10", "fig11", "fig12", "fig13", "ablation", "migration", "convergence",
-		"networks", "balancing",
+		"networks", "balancing", "farm",
+	}
+	if *list {
+		names := make([]string, 0, len(all))
+		for name := range all {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			fmt.Println(name)
+		}
+		return
 	}
 	if *exp == "all" {
 		for _, name := range order {

@@ -5,10 +5,12 @@
 // (finite differences and lattice Boltzmann), static rectangular domain
 // decomposition with ghost-cell exchange, TCP messaging with a shared-file
 // port registry, and automatic migration of parallel processes from busy
-// hosts to free hosts.
+// hosts to free hosts — extended into a multi-job simulation farm
+// (internal/sched) that reuses the migration protocol for preemption.
 //
-// The library lives under internal/; see README.md for the architecture,
-// DESIGN.md for the per-experiment index, and EXPERIMENTS.md for
-// paper-versus-measured results. The benchmarks in bench_test.go
-// regenerate every table and figure of the paper's evaluation.
+// The library lives under internal/; see README.md for the architecture
+// and package map, DESIGN.md for the per-experiment index, and
+// EXPERIMENTS.md for how to run the evaluation and what to expect. The
+// benchmarks in bench_test.go regenerate every table and figure of the
+// paper's evaluation.
 package repro

@@ -79,11 +79,23 @@ type Host struct {
 	// loads are the 1/5/15-minute exponentially averaged load values.
 	loads [3]float64
 
+	// userLoads are the same averages restricted to the regular users'
+	// processes (jobs), excluding any parallel subprocess. A farm
+	// scheduler reads these: it knows which subprocesses are its own, so
+	// it can reuse a just-released host without waiting for the blended
+	// uptime average to decay. The paper's single-job policies read only
+	// the blended loads.
+	userLoads [3]float64
+
 	// idleFor is how long the interactive user has been idle.
 	idleFor time.Duration
 
 	// assigned is the rank of the parallel subprocess placed here, or -1.
 	assigned int
+
+	// owner identifies which job the subprocess belongs to ("" for the
+	// single-job protocols of sections 4-5).
+	owner string
 }
 
 // NewHost creates an idle host with no user activity.
@@ -125,10 +137,29 @@ func (h *Host) TouchUser() { h.idleFor = 0 }
 func (h *Host) Assigned() int { return h.assigned }
 
 // Assign places a parallel subprocess on the host.
-func (h *Host) Assign(rank int) { h.assigned = rank }
+func (h *Host) Assign(rank int) { h.AssignTo("", rank) }
+
+// AssignTo places a parallel subprocess owned by a named job on the host.
+// The owner lets a multi-job scheduler tell its jobs' subprocesses apart.
+func (h *Host) AssignTo(owner string, rank int) {
+	h.assigned = rank
+	h.owner = owner
+}
+
+// Owner returns the job the subprocess belongs to ("" when unassigned or
+// assigned by the single-job protocol).
+func (h *Host) Owner() string { return h.owner }
 
 // Unassign removes the parallel subprocess.
-func (h *Host) Unassign() { h.assigned = -1 }
+func (h *Host) Unassign() {
+	h.assigned = -1
+	h.owner = ""
+}
+
+// UserLoad15 returns the fifteen-minute load attributable to regular
+// users' processes alone, the observable a farm scheduler uses for
+// capacity decisions (see the userLoads field).
+func (h *Host) UserLoad15() float64 { return h.userLoads[2] }
 
 // advance evolves the load averages toward the current job count over dt,
 // and accumulates user idle time. A parallel subprocess contributes a full
@@ -139,9 +170,11 @@ func (h *Host) advance(dt time.Duration) {
 	if h.assigned >= 0 {
 		target++
 	}
+	user := float64(h.jobs)
 	for i, tau := range loadTaus {
 		a := 1 - math.Exp(-dt.Seconds()/tau.Seconds())
 		h.loads[i] += (target - h.loads[i]) * a
+		h.userLoads[i] += (user - h.userLoads[i]) * a
 	}
 	h.idleFor += dt
 }
@@ -221,21 +254,7 @@ func DefaultPolicy() SelectionPolicy {
 // slower 710 and 720 models"). Hosts already running a parallel subprocess
 // are never selected.
 func (c *Cluster) SelectFree(n int, pol SelectionPolicy) []*Host {
-	var idleUser, activeUser []*Host
-	for _, h := range c.Hosts {
-		if h.assigned >= 0 {
-			continue
-		}
-		_, _, l15 := h.Uptime()
-		if l15 >= pol.MaxLoad15 {
-			continue
-		}
-		if h.idleFor >= pol.MinIdle {
-			idleUser = append(idleUser, h)
-		} else {
-			activeUser = append(activeUser, h)
-		}
-	}
+	idleUser, activeUser := c.classify(pol, func(h *Host) float64 { return h.loads[2] })
 	prefer := func(hosts []*Host) {
 		sort.SliceStable(hosts, func(i, j int) bool {
 			pi, pj := modelPreference(hosts[i].Model), modelPreference(hosts[j].Model)
@@ -252,6 +271,28 @@ func (c *Cluster) SelectFree(n int, pol SelectionPolicy) []*Host {
 		out = out[:n]
 	}
 	return out
+}
+
+// classify splits the hosts with no parallel subprocess and a
+// fifteen-minute load (as read by loadOf) below the threshold into the
+// preferred idle-user group and the active-user group of section 4.1. It
+// is shared by SelectFree (blended uptime load) and the farm reservation
+// path (user-attributable load).
+func (c *Cluster) classify(pol SelectionPolicy, loadOf func(*Host) float64) (idle, active []*Host) {
+	for _, h := range c.Hosts {
+		if h.assigned >= 0 {
+			continue
+		}
+		if loadOf(h) >= pol.MaxLoad15 {
+			continue
+		}
+		if h.idleFor >= pol.MinIdle {
+			idle = append(idle, h)
+		} else {
+			active = append(active, h)
+		}
+	}
+	return idle, active
 }
 
 // modelPreference orders 715 first, then 720, then 710 (the paper treats

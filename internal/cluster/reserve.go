@@ -1,0 +1,85 @@
+package cluster
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// Reservation is a capacity claim on the pool: a set of hosts set aside
+// for one job of a multi-job farm, where Hosts[i] serves the job's rank i.
+// Reserving marks the hosts assigned, so neither SelectFree nor another
+// Reserve can hand them out until Release.
+type Reservation struct {
+	Owner string
+	Hosts []*Host
+}
+
+// reservable returns the hosts a farm scheduler may claim, split into the
+// preferred idle-user group and the active-user group of section 4.1.
+//
+// It differs from SelectFree in one deliberate way: the load threshold
+// applies to the user-attributable load (UserLoad15) rather than the
+// blended uptime average. The farm knows which subprocesses are its own,
+// so a host that just released one is immediately reusable even though
+// its visible load average has not decayed yet; only regular users'
+// activity makes a host ineligible.
+func (c *Cluster) reservable(pol SelectionPolicy) (idle, active []*Host) {
+	return c.classify(pol, (*Host).UserLoad15)
+}
+
+// Capacity returns how many hosts a Reserve call could claim right now.
+func (c *Cluster) Capacity(pol SelectionPolicy) int {
+	idle, active := c.reservable(pol)
+	return len(idle) + len(active)
+}
+
+// Reserve claims n hosts for the named owner, assigning rank i to the
+// i-th chosen host. The scan keeps the section-4.1 preferences — idle-user
+// hosts before active-user hosts, faster models first — but within each
+// preference tier the order is a fresh random permutation drawn from rng,
+// in the spirit of Lee & Wright's random-permutation fix for cyclic scan
+// orders: no fixed host ordering can produce adversarial worst-case
+// packing across scheduling rounds. A nil rng keeps the deterministic
+// name order of SelectFree.
+func (c *Cluster) Reserve(owner string, n int, pol SelectionPolicy, rng *rand.Rand) (*Reservation, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("cluster: reserve %d hosts", n)
+	}
+	idle, active := c.reservable(pol)
+	if len(idle)+len(active) < n {
+		return nil, fmt.Errorf("cluster: reserve %d hosts for %q: only %d reservable",
+			n, owner, len(idle)+len(active))
+	}
+	order := func(hosts []*Host) {
+		if rng != nil {
+			rng.Shuffle(len(hosts), func(i, j int) { hosts[i], hosts[j] = hosts[j], hosts[i] })
+		} else {
+			sort.SliceStable(hosts, func(i, j int) bool { return hosts[i].Name < hosts[j].Name })
+		}
+		// Stable, so the permutation survives within each model tier.
+		sort.SliceStable(hosts, func(i, j int) bool {
+			return modelPreference(hosts[i].Model) < modelPreference(hosts[j].Model)
+		})
+	}
+	order(idle)
+	order(active)
+	all := append(idle, active...)
+	r := &Reservation{Owner: owner, Hosts: all[:n:n]}
+	for i, h := range r.Hosts {
+		h.AssignTo(owner, i)
+	}
+	return r, nil
+}
+
+// Release frees every host still held by the reservation. Hosts whose
+// assignment changed hands since (another owner, or the single-job
+// protocol) are left alone, so Release is safe to call after a job's own
+// cleanup already unassigned them.
+func (r *Reservation) Release() {
+	for _, h := range r.Hosts {
+		if h.assigned >= 0 && h.owner == r.Owner {
+			h.Unassign()
+		}
+	}
+}

@@ -1,0 +1,132 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/dump"
+)
+
+// Suspend halts the whole job through the section-5.1 migration protocol
+// applied to every rank at once: all processes synchronize, each saves its
+// state into a dump and exits. The returned states (ordered by rank) are
+// the complete checkpoint; Resume restarts the job from them, and the
+// continued computation is bitwise identical to an uninterrupted run —
+// the same guarantee migration gives, reused as a scheduling primitive so
+// a farm can preempt a low-priority job and give its hosts to another.
+//
+// After Suspend no workers are running; only Resume is valid next.
+func (j *Job) Suspend() ([]*dump.State, error) {
+	// 1-2. Signal every process to synchronize and wait for all of them
+	// to reach the synchronization step (done events may interleave).
+	j.round++
+	for _, w := range j.workers {
+		w.RequestPause(j.round)
+	}
+	paused := map[int]bool{}
+	for len(paused) < j.P() {
+		e, err := j.nextEvent()
+		if err != nil {
+			return nil, fmt.Errorf("core: suspend: waiting for pause: %w", err)
+		}
+		switch e.Kind {
+		case EventPaused:
+			paused[e.Rank] = true
+		case EventDone:
+			j.done[e.Rank] = true
+		}
+	}
+
+	// 3. Every process saves its state and exits.
+	states := map[int]*dump.State{}
+	for _, w := range j.workers {
+		w.RequestMigrate()
+	}
+	for len(states) < j.P() {
+		e, err := j.nextEvent()
+		if err != nil {
+			return nil, fmt.Errorf("core: suspend: waiting for dumps: %w", err)
+		}
+		if e.Kind == EventMigrated {
+			states[e.Rank] = e.State.(*dump.State)
+		}
+	}
+	out := make([]*dump.State, 0, j.P())
+	for rank := 0; rank < j.P(); rank++ {
+		st, ok := states[rank]
+		if !ok {
+			return nil, fmt.Errorf("core: suspend: no dump for rank %d", rank)
+		}
+		out = append(out, st)
+	}
+	// The compute goroutines have exited; retire their controllers too.
+	for _, w := range j.workers {
+		w.Shutdown()
+	}
+	return out, nil
+}
+
+// Resume restarts a suspended job from the states Suspend returned: every
+// rank's Program is rebuilt from its dump and a fresh worker starts at
+// the next communication epoch, exactly as step 4 of the migration
+// protocol restarts a single migrated process.
+func (j *Job) Resume(states []*dump.State) error {
+	if len(states) != j.P() {
+		return fmt.Errorf("core: resume: %d states for %d ranks", len(states), j.P())
+	}
+	j.epoch++
+	j.done = make(map[int]bool)
+	restarted := make([]*Worker, 0, len(states))
+	for _, st := range states {
+		st.Epoch = j.epoch
+		prog, err := j.Rebuild(st)
+		if err != nil {
+			return fmt.Errorf("core: resume: rebuilding rank %d: %w", st.Rank, err)
+		}
+		w, err := NewWorkerAt(prog, j.Factory, j.epoch, j.events, st.Step)
+		if err != nil {
+			return fmt.Errorf("core: resume: restarting rank %d: %w", st.Rank, err)
+		}
+		j.workers[st.Rank] = w
+		if j.onRebuild != nil {
+			j.onRebuild(st.Rank, prog)
+		}
+		restarted = append(restarted, w)
+	}
+	for _, w := range restarted {
+		j.wireSync(w)
+	}
+	for _, w := range restarted {
+		go w.Start(j.Until)
+	}
+	return nil
+}
+
+// PlaceOn records an externally chosen placement — a scheduler's
+// reservation — instead of selecting hosts itself as PlaceOnCluster does:
+// hosts[rank] serves rank. Hosts the caller has not assigned yet are
+// assigned here.
+func (j *Job) PlaceOn(c *cluster.Cluster, hosts []*cluster.Host) error {
+	if len(hosts) < j.P() {
+		return fmt.Errorf("core: placement has %d hosts, need %d", len(hosts), j.P())
+	}
+	j.Cluster = c
+	for rank := 0; rank < j.P(); rank++ {
+		if hosts[rank].Assigned() < 0 {
+			hosts[rank].Assign(rank)
+		}
+		j.hostOf[rank] = hosts[rank]
+	}
+	return nil
+}
+
+// ReleaseHosts unassigns every host of the job's current placement, for a
+// suspension or a completed run handing the pool back to a scheduler.
+func (j *Job) ReleaseHosts() {
+	for rank, h := range j.hostOf {
+		if h != nil {
+			h.Unassign()
+		}
+		delete(j.hostOf, rank)
+	}
+}

@@ -1,0 +1,157 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+)
+
+// TestSuspendResumePreservesSolution checkpoints a whole running job
+// through the migration dump path, restarts it, and checks the final
+// solution is bitwise identical to an uninterrupted run — the guarantee a
+// farm scheduler's preemption relies on.
+func TestSuspendResumePreservesSolution(t *testing.T) {
+	const steps = 40
+	ref, _, err := RunSequential2D(channelConfig(t, MethodLB, 2, 2, 24, 16), steps)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cfg := channelConfig(t, MethodLB, 2, 2, 24, 16)
+	j, jp := newTestJob(t, cfg, steps)
+	j.Start()
+	time.Sleep(15 * time.Millisecond)
+
+	states, err := j.Suspend()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(states) != 4 {
+		t.Fatalf("suspend returned %d states, want 4", len(states))
+	}
+	for rank, st := range states {
+		if st.Rank != rank {
+			t.Errorf("state %d has rank %d, want sorted by rank", rank, st.Rank)
+		}
+	}
+
+	// While suspended nothing runs; the pool could be handed to another
+	// job here. Resume and finish.
+	if err := j.Resume(states); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.WaitDone(); err != nil {
+		t.Fatal(err)
+	}
+	j.Shutdown()
+
+	got := jp.Gather(steps)
+	if ok, x, y, d := resultsEqual(ref, got, 0); !ok {
+		t.Errorf("suspended run differs from reference at (%d,%d) by %g", x, y, d)
+	}
+	if j.Epoch() != 1 {
+		t.Errorf("epoch = %d, want 1 after one suspend/resume", j.Epoch())
+	}
+}
+
+// TestSuspendTwice exercises repeated preemption of the same job.
+func TestSuspendTwice(t *testing.T) {
+	const steps = 30
+	ref, _, err := RunSequential2D(channelConfig(t, MethodFD, 2, 1, 16, 8), steps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := channelConfig(t, MethodFD, 2, 1, 16, 8)
+	j, jp := newTestJob(t, cfg, steps)
+	j.Start()
+	for i := 0; i < 2; i++ {
+		time.Sleep(5 * time.Millisecond)
+		states, err := j.Suspend()
+		if err != nil {
+			t.Fatalf("suspend %d: %v", i, err)
+		}
+		if err := j.Resume(states); err != nil {
+			t.Fatalf("resume %d: %v", i, err)
+		}
+	}
+	if err := j.WaitDone(); err != nil {
+		t.Fatal(err)
+	}
+	j.Shutdown()
+	got := jp.Gather(steps)
+	if ok, x, y, d := resultsEqual(ref, got, 0); !ok {
+		t.Errorf("twice-suspended run differs at (%d,%d) by %g", x, y, d)
+	}
+}
+
+// TestSuspendAfterCompletion: suspending a job whose workers already
+// finished still dumps a complete, restartable checkpoint.
+func TestSuspendAfterCompletion(t *testing.T) {
+	const steps = 5
+	cfg := channelConfig(t, MethodLB, 2, 1, 16, 8)
+	ref, _, err := RunSequential2D(channelConfig(t, MethodLB, 2, 1, 16, 8), steps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j, jp := newTestJob(t, cfg, steps)
+	j.Start()
+	if err := j.WaitDone(); err != nil {
+		t.Fatal(err)
+	}
+	states, err := j.Suspend()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, st := range states {
+		if st.Step != steps {
+			t.Errorf("rank %d dumped at step %d, want %d", st.Rank, st.Step, steps)
+		}
+	}
+	if err := j.Resume(states); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.WaitDone(); err != nil {
+		t.Fatal(err)
+	}
+	j.Shutdown()
+	got := jp.Gather(steps)
+	if ok, x, y, d := resultsEqual(ref, got, 0); !ok {
+		t.Errorf("post-completion suspend corrupted state at (%d,%d) by %g", x, y, d)
+	}
+}
+
+// TestPlaceOnAndRelease: an external scheduler's reservation flows into
+// the job's host bookkeeping and back out.
+func TestPlaceOnAndRelease(t *testing.T) {
+	cfg := channelConfig(t, MethodLB, 2, 1, 16, 8)
+	j, _ := newTestJob(t, cfg, 3)
+	cl := cluster.NewPaperCluster()
+	cl.Advance(30 * time.Minute)
+	res, err := cl.Reserve("job-a", j.P(), cluster.DefaultPolicy(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.PlaceOn(cl, res.Hosts); err != nil {
+		t.Fatal(err)
+	}
+	for rank := 0; rank < j.P(); rank++ {
+		h := j.HostOf(rank)
+		if h == nil || h.Assigned() != rank {
+			t.Fatalf("rank %d not placed: %v", rank, h)
+		}
+	}
+	j.ReleaseHosts()
+	if j.HostOf(0) != nil {
+		t.Error("ReleaseHosts kept the placement")
+	}
+	if res.Hosts[0].Assigned() != -1 {
+		t.Error("ReleaseHosts left the host assigned")
+	}
+	res.Release() // idempotent after the job released its hosts
+	j.Start()
+	if err := j.WaitDone(); err != nil {
+		t.Fatal(err)
+	}
+	j.Shutdown()
+}

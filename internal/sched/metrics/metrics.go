@@ -1,0 +1,115 @@
+// Package metrics is the reporting layer of the simulation farm: per-job
+// records of when a job was submitted, first started, preempted and
+// completed, and the aggregate figures a scheduling policy is judged by —
+// mean and maximum queue wait, makespan, pool utilization, preemption and
+// backfill counts. All times are virtual (the cluster's clock), relative
+// to the farm's start, which is what makes trace replays deterministic.
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Job is the lifecycle record of one completed job.
+type Job struct {
+	ID       string
+	Ranks    int
+	Priority int
+
+	// Submit, FirstStart and Done are farm-relative virtual times.
+	Submit, FirstStart, Done time.Duration
+	// Served is the total virtual time the job held its hosts.
+	Served time.Duration
+
+	Preemptions int
+	Backfilled  bool
+}
+
+// Wait is the queue wait: submission to first placement.
+func (j Job) Wait() time.Duration { return j.FirstStart - j.Submit }
+
+// Summary aggregates a finished farm run.
+type Summary struct {
+	Jobs []Job
+
+	// Makespan spans the first submission to the last completion.
+	Makespan time.Duration
+	// MeanWait and MaxWait aggregate the per-job queue waits.
+	MeanWait, MaxWait time.Duration
+	// Utilization is busy host-time over hosts x makespan.
+	Utilization float64
+
+	Preemptions int
+	Backfills   int
+}
+
+// Summarize computes the aggregate figures for a set of completed jobs on
+// a pool of the given size. Jobs are reported sorted by (Submit, ID).
+func Summarize(jobs []Job, hosts int) Summary {
+	s := Summary{Jobs: append([]Job(nil), jobs...)}
+	sort.SliceStable(s.Jobs, func(i, j int) bool {
+		if s.Jobs[i].Submit != s.Jobs[j].Submit {
+			return s.Jobs[i].Submit < s.Jobs[j].Submit
+		}
+		return s.Jobs[i].ID < s.Jobs[j].ID
+	})
+	if len(s.Jobs) == 0 {
+		return s
+	}
+	minSubmit, maxDone := s.Jobs[0].Submit, time.Duration(0)
+	var totalWait time.Duration
+	busyHostSec := 0.0
+	for _, j := range s.Jobs {
+		if j.Submit < minSubmit {
+			minSubmit = j.Submit
+		}
+		if j.Done > maxDone {
+			maxDone = j.Done
+		}
+		w := j.Wait()
+		totalWait += w
+		if w > s.MaxWait {
+			s.MaxWait = w
+		}
+		busyHostSec += j.Served.Seconds() * float64(j.Ranks)
+		s.Preemptions += j.Preemptions
+		if j.Backfilled {
+			s.Backfills++
+		}
+	}
+	s.Makespan = maxDone - minSubmit
+	s.MeanWait = totalWait / time.Duration(len(s.Jobs))
+	if hosts > 0 && s.Makespan > 0 {
+		s.Utilization = busyHostSec / (float64(hosts) * s.Makespan.Seconds())
+	}
+	return s
+}
+
+// String renders the summary as a fixed-width table, one job per line
+// plus the aggregate footer.
+func (s Summary) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-12s %5s %4s %12s %12s %12s %8s %5s\n",
+		"job", "ranks", "prio", "submit", "wait", "done", "preempt", "bfill")
+	for _, j := range s.Jobs {
+		bf := ""
+		if j.Backfilled {
+			bf = "yes"
+		}
+		fmt.Fprintf(&b, "%-12s %5d %4d %12s %12s %12s %8d %5s\n",
+			j.ID, j.Ranks, j.Priority,
+			fmtDur(j.Submit), fmtDur(j.Wait()), fmtDur(j.Done), j.Preemptions, bf)
+	}
+	fmt.Fprintf(&b, "makespan %s  mean wait %s  max wait %s  utilization %.3f  preemptions %d  backfills %d\n",
+		fmtDur(s.Makespan), fmtDur(s.MeanWait), fmtDur(s.MaxWait),
+		s.Utilization, s.Preemptions, s.Backfills)
+	return b.String()
+}
+
+// fmtDur prints a duration rounded to the scale a farm operator reads.
+func fmtDur(d time.Duration) string {
+	return d.Round(100 * time.Millisecond).String()
+}

@@ -1,0 +1,158 @@
+// Package sched turns the paper's pool of non-dedicated workstations into
+// a shared simulation farm: many queued jobs competing for one
+// cluster.Cluster, with admission, capacity-aware placement, backfill,
+// and migration-based preemption.
+//
+// The paper (section 5.1) prescribes process migration so a single
+// parallel job can vacate a workstation its owner reclaims. This package
+// reuses that exact machinery as a scheduling primitive: preempting a
+// low-priority job is Job.Suspend — every rank synchronizes, dumps its
+// state and exits — and resuming it later is Job.Resume, so a preempted
+// simulation still produces bit-identical results to an undisturbed run.
+//
+// Placement extends cluster.SelectFree into a reservation API
+// (cluster.Reserve): host slots are claimed per job and released on
+// completion or preemption, and the greedy scan order is re-randomized
+// every round — within the section-4.1 preference tiers — following Lee &
+// Wright's observation that random permutations avoid the adversarial
+// worst cases a fixed cyclic order admits.
+//
+// The scheduler runs in the cluster's virtual time, so multi-job traces
+// replay deterministically: job runtimes come from a StepTimer, either
+// the compute-only host-speed estimate or the perf discrete-event engine
+// (PerfTimer), which replays each job's halo-exchange pattern over the
+// modelled network. Metrics (queue wait, makespan, utilization,
+// preemptions, backfills) live in the sched/metrics sub-package.
+package sched
+
+import (
+	"fmt"
+	"time"
+)
+
+// Policy selects the queueing discipline.
+type Policy int
+
+const (
+	// FIFO runs jobs in submission order (ties broken by ID).
+	FIFO Policy = iota
+	// Priority runs the highest-priority job first and preempts running
+	// lower-priority jobs when the head of the queue cannot fit.
+	Priority
+	// WeightedFair picks the queued job with the least virtual service
+	// time per unit weight, a stride-scheduling share of the farm.
+	WeightedFair
+)
+
+func (p Policy) String() string {
+	switch p {
+	case FIFO:
+		return "fifo"
+	case Priority:
+		return "priority"
+	case WeightedFair:
+		return "fair"
+	}
+	return fmt.Sprintf("Policy(%d)", int(p))
+}
+
+// ParsePolicy maps a policy name to its Policy.
+func ParsePolicy(s string) (Policy, error) {
+	switch s {
+	case "fifo":
+		return FIFO, nil
+	case "priority":
+		return Priority, nil
+	case "fair":
+		return WeightedFair, nil
+	}
+	return 0, fmt.Errorf("sched: unknown policy %q (fifo, priority, fair)", s)
+}
+
+// methodDims maps the section-7 method names to their dimensionality.
+var methodDims = map[string]int{
+	"lb2d": 2, "fd2d": 2, "lb3d": 3, "fd3d": 3,
+}
+
+// JobSpec describes one job of the farm: the decomposed simulation it
+// stands for (method, decomposition, subregion side), how long it runs,
+// and how the queue should treat it. Specs are the scheduler's model of
+// the work — a real core.Job attached through CoreWorkload computes
+// whatever its own config says, while the spec drives the virtual-time
+// accounting.
+type JobSpec struct {
+	ID     string
+	Method string // lb2d, fd2d, lb3d or fd3d (the speed-table names)
+
+	// JX, JY, JZ is the decomposition; JZ = 0 means 2D. Ranks() hosts
+	// are needed, one per subregion, as in the paper.
+	JX, JY, JZ int
+	// Side is the subregion side length (square/cubic subregions, the
+	// paper's scaling setup), fixing the per-rank workload.
+	Side int
+	// Steps is the number of integration steps.
+	Steps int
+
+	// Priority orders the Priority policy (higher first); jobs with
+	// strictly higher priority may preempt running lower-priority jobs.
+	Priority int
+	// User names the tenant the job belongs to for WeightedFair
+	// accounting; an empty user makes the job its own tenant.
+	User string
+	// Weight is the WeightedFair share of the job's tenant (<= 0 means
+	// 1): the scheduler favors the tenant with the least virtual service
+	// time per unit weight. Jobs of one tenant should agree on it.
+	Weight float64
+	// Submit is the arrival time, relative to the farm's start.
+	Submit time.Duration
+}
+
+// Is3D reports whether the spec decomposes a 3D problem.
+func (s JobSpec) Is3D() bool { return s.JZ > 0 }
+
+// Ranks returns the number of hosts the job needs.
+func (s JobSpec) Ranks() int {
+	jz := s.JZ
+	if jz < 1 {
+		jz = 1
+	}
+	return s.JX * s.JY * jz
+}
+
+// NodesPerRank returns the fluid nodes each rank integrates per step.
+func (s JobSpec) NodesPerRank() int {
+	if s.Is3D() {
+		return s.Side * s.Side * s.Side
+	}
+	return s.Side * s.Side
+}
+
+// Validate checks the spec.
+func (s JobSpec) Validate() error {
+	if s.ID == "" {
+		return fmt.Errorf("sched: job needs an ID")
+	}
+	dim, ok := methodDims[s.Method]
+	if !ok {
+		return fmt.Errorf("sched: job %s: unknown method %q", s.ID, s.Method)
+	}
+	if dim == 3 && s.JZ < 1 {
+		return fmt.Errorf("sched: job %s: 3D method needs JZ >= 1", s.ID)
+	}
+	if dim == 2 && s.JZ > 1 {
+		return fmt.Errorf("sched: job %s: 2D method with JZ = %d", s.ID, s.JZ)
+	}
+	if s.JX < 1 || s.JY < 1 {
+		return fmt.Errorf("sched: job %s: decomposition %dx%dx%d", s.ID, s.JX, s.JY, s.JZ)
+	}
+	if s.Side < 1 {
+		return fmt.Errorf("sched: job %s: subregion side %d", s.ID, s.Side)
+	}
+	if s.Steps < 1 {
+		return fmt.Errorf("sched: job %s: %d steps", s.ID, s.Steps)
+	}
+	if s.Submit < 0 {
+		return fmt.Errorf("sched: job %s: negative submit time", s.ID)
+	}
+	return nil
+}

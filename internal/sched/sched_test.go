@@ -1,0 +1,400 @@
+package sched
+
+import (
+	"math"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/decomp"
+	"repro/internal/fluid"
+	"repro/internal/perf"
+	"repro/internal/sched/metrics"
+	"repro/internal/syncfile"
+)
+
+func idlePool() *cluster.Cluster {
+	c := cluster.NewPaperCluster()
+	c.Advance(30 * time.Minute)
+	return c
+}
+
+// farmMix is the deterministic multi-job scenario: eight jobs of mixed
+// sizes and priorities arriving over the first minute.
+func farmMix() []JobSpec {
+	return []JobSpec{
+		{ID: "a-wide", Method: "lb2d", JX: 5, JY: 4, Side: 40, Steps: 2000, Priority: 1, Weight: 2},
+		{ID: "b-quad", Method: "lb2d", JX: 2, JY: 2, Side: 40, Steps: 3000, Priority: 1, Weight: 1},
+		{ID: "c-probe", Method: "fd2d", JX: 1, JY: 1, Side: 64, Steps: 5000, Priority: 0, Weight: 1},
+		{ID: "d-box", Method: "lb3d", JX: 2, JY: 2, JZ: 1, Side: 16, Steps: 800, Priority: 1, Weight: 1,
+			Submit: 20 * time.Second},
+		{ID: "e-acoustic", Method: "fd2d", JX: 2, JY: 1, Side: 30, Steps: 2000, Priority: 0, Weight: 1,
+			Submit: 20 * time.Second},
+		{ID: "f-urgent", Method: "lb2d", JX: 4, JY: 4, Side: 20, Steps: 1000, Priority: 9, Weight: 4,
+			Submit: 30 * time.Second},
+		{ID: "g-grand", Method: "lb2d", JX: 6, JY: 4, Side: 40, Steps: 500, Priority: 5, Weight: 1,
+			Submit: 60 * time.Second},
+		{ID: "h-tail", Method: "fd2d", JX: 1, JY: 1, Side: 40, Steps: 1000, Priority: 0, Weight: 1,
+			Submit: 70 * time.Second},
+	}
+}
+
+func replayMix(t *testing.T, pol Policy) metrics.Summary {
+	t.Helper()
+	sum, err := Replay(idlePool(), pol, 42, nil, farmMix())
+	if err != nil {
+		t.Fatalf("%v replay: %v", pol, err)
+	}
+	return sum
+}
+
+func jobByID(t *testing.T, sum metrics.Summary, id string) metrics.Job {
+	t.Helper()
+	for _, j := range sum.Jobs {
+		if j.ID == id {
+			return j
+		}
+	}
+	t.Fatalf("job %s missing from summary", id)
+	return metrics.Job{}
+}
+
+// TestFarmPoliciesDeterministic replays the mixed workload under each of
+// the three policies and asserts the headline metrics: every job
+// completes, FIFO and fair never preempt, priority preempts through the
+// migration path, backfill fills the gaps, and a repeated run with the
+// same seed reproduces the summary exactly.
+func TestFarmPoliciesDeterministic(t *testing.T) {
+	fifo := replayMix(t, FIFO)
+	prio := replayMix(t, Priority)
+	fair := replayMix(t, WeightedFair)
+
+	for _, tc := range []struct {
+		pol Policy
+		sum metrics.Summary
+	}{{FIFO, fifo}, {Priority, prio}, {WeightedFair, fair}} {
+		if len(tc.sum.Jobs) != 8 {
+			t.Fatalf("%v: %d jobs completed, want 8", tc.pol, len(tc.sum.Jobs))
+		}
+		if tc.sum.Utilization <= 0 || tc.sum.Utilization > 1 {
+			t.Errorf("%v: utilization %v out of (0,1]", tc.pol, tc.sum.Utilization)
+		}
+		if tc.sum.Makespan <= 0 {
+			t.Errorf("%v: makespan %v", tc.pol, tc.sum.Makespan)
+		}
+		if tc.sum.MeanWait <= 0 {
+			t.Errorf("%v: mean queue wait %v, want > 0 (the pool oversubscribes)", tc.pol, tc.sum.MeanWait)
+		}
+	}
+
+	if fifo.Preemptions != 0 || fair.Preemptions != 0 {
+		t.Errorf("preemptions: fifo %d fair %d, want 0 (only the priority policy preempts)",
+			fifo.Preemptions, fair.Preemptions)
+	}
+	if prio.Preemptions < 2 {
+		t.Errorf("priority preemptions = %d, want >= 2", prio.Preemptions)
+	}
+	if fifo.Backfills == 0 {
+		t.Error("FIFO backfilled nothing despite the blocked wide job")
+	}
+
+	// The urgent job jumps the queue under priority scheduling.
+	uf, up := jobByID(t, fifo, "f-urgent"), jobByID(t, prio, "f-urgent")
+	if up.Wait() != 0 {
+		t.Errorf("priority: urgent job waited %v, want immediate preemptive start", up.Wait())
+	}
+	if uf.Wait() <= up.Wait() {
+		t.Errorf("urgent wait fifo %v <= priority %v", uf.Wait(), up.Wait())
+	}
+	// The first submitted job starts immediately under FIFO.
+	if w := jobByID(t, fifo, "a-wide").Wait(); w != 0 {
+		t.Errorf("fifo: first job waited %v", w)
+	}
+
+	// Determinism: an identical seeded run reproduces every number.
+	for _, pol := range []Policy{FIFO, Priority, WeightedFair} {
+		a, b := replayMix(t, pol), replayMix(t, pol)
+		if !reflect.DeepEqual(a, b) {
+			t.Errorf("%v: two seeded replays diverged:\n%v\n%v", pol, a, b)
+		}
+	}
+}
+
+// TestWeightedFairInterleavesTenants: 20-rank jobs serialize on the
+// 25-host pool, so the fair policy must alternate tenants by served time
+// per unit weight rather than drain one tenant's backlog first.
+func TestWeightedFairInterleavesTenants(t *testing.T) {
+	mk := func(id, user string, weight float64) JobSpec {
+		return JobSpec{ID: id, User: user, Weight: weight,
+			Method: "lb2d", JX: 5, JY: 4, Side: 40, Steps: 500}
+	}
+	specs := []JobSpec{
+		mk("h1", "heavy", 4), mk("h2", "heavy", 4),
+		mk("l1", "light", 1), mk("l2", "light", 1),
+	}
+	sum, err := Replay(idlePool(), WeightedFair, 1, nil, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// h1 runs first (all shares zero, tie by ID), charging tenant heavy.
+	// Then light's share (0) is least, so l1 jumps h2. After l1, heavy's
+	// share per weight (t/4) is below light's (t/1): h2, then l2.
+	done := func(id string) time.Duration { return jobByID(t, sum, id).Done }
+	if !(done("h1") < done("l1") && done("l1") < done("h2") && done("h2") < done("l2")) {
+		t.Errorf("fair completion order wrong: h1 %v l1 %v h2 %v l2 %v",
+			done("h1"), done("l1"), done("h2"), done("l2"))
+	}
+	// FIFO on the same trace drains heavy's backlog first.
+	fifo, err := Replay(idlePool(), FIFO, 1, nil, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doneF := func(id string) time.Duration { return jobByID(t, fifo, id).Done }
+	if !(doneF("h2") < doneF("l1")) {
+		t.Errorf("fifo order unexpected: h2 %v l1 %v", doneF("h2"), doneF("l1"))
+	}
+}
+
+// TestFarmPreemptsRealCoreJob is the acceptance scenario: a real 2D LB
+// simulation runs as a low-priority farm job, a high-priority burst
+// arrives needing almost the whole pool, the scheduler suspends the
+// simulation through the section-5.1 dump path, runs the burst, resumes
+// the simulation from its checkpoint — and the finished simulation is
+// bit-identical to an undisturbed run.
+func TestFarmPreemptsRealCoreJob(t *testing.T) {
+	const steps = 40
+	mkCfg := func() *core.Config2D {
+		d, err := decomp.New2D(2, 2, 24, 16, decomp.Full)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d.PeriodicX = true
+		par := fluid.DefaultParams()
+		par.Nu = 0.1
+		par.Eps = 0.01
+		par.ForceX = 1e-5
+		return &core.Config2D{
+			Method: core.MethodLB,
+			Par:    par,
+			Mask:   fluid.ChannelMask2D(24, 16),
+			D:      d,
+		}
+	}
+	ref, _, err := core.RunSequential2D(mkCfg(), steps)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sf, err := syncfile.New(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sf.Poll = time.Millisecond
+	job, progs, err := core.NewJob2D(mkCfg(), core.HubFactory(), sf, steps)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	pool := idlePool()
+	s := New(pool, Priority, 42)
+	// The sim job: 4 ranks, low priority, long virtual runtime (the Side
+	// inflates the virtual workload so the burst arrives mid-run).
+	err = s.Submit(JobSpec{
+		ID: "sim", Method: "lb2d", JX: 2, JY: 2, Side: 1000, Steps: steps, Priority: 0,
+	}, &CoreWorkload{Job: job, Cluster: pool})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The burst: 22 ranks at t = 5 virtual minutes. 21 hosts are free, so
+	// the scheduler must preempt the sim.
+	err = s.Submit(JobSpec{
+		ID: "burst", Method: "lb2d", JX: 11, JY: 2, Side: 40, Steps: 100, Priority: 9,
+		Submit: 5 * time.Minute,
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sum, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Preemptions != 1 {
+		t.Errorf("preemptions = %d, want exactly 1 (the sim)", sum.Preemptions)
+	}
+	sim := jobByID(t, sum, "sim")
+	if sim.Preemptions != 1 {
+		t.Errorf("sim preempted %d times, want 1", sim.Preemptions)
+	}
+	if w := jobByID(t, sum, "burst").Wait(); w != 0 {
+		t.Errorf("burst waited %v, want preemptive immediate start", w)
+	}
+	if job.Epoch() != 1 {
+		t.Errorf("job epoch = %d, want 1 after one suspend/resume", job.Epoch())
+	}
+
+	got := progs.Gather(steps)
+	for i := range ref.Rho {
+		if ref.Rho[i] != got.Rho[i] || ref.Vx[i] != got.Vx[i] || ref.Vy[i] != got.Vy[i] {
+			t.Fatalf("preempted simulation differs from reference at node %d", i)
+		}
+	}
+}
+
+// TestPreemptSkipsUserBusyVictims: suspending a job whose hosts regular
+// users have since reclaimed frees no reservable capacity, so the
+// scheduler must not checkpoint it for nothing when that capacity cannot
+// unblock the head.
+func TestPreemptSkipsUserBusyVictims(t *testing.T) {
+	pool := idlePool()
+	s := New(pool, Priority, 1)
+	if err := s.Submit(JobSpec{
+		ID: "victim", Method: "lb2d", JX: 2, JY: 2, Side: 1000, Steps: 10000, Priority: 0,
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Submit(JobSpec{
+		ID: "head", Method: "lb2d", JX: 11, JY: 2, Side: 40, Steps: 100, Priority: 9,
+		Submit: 30 * time.Minute,
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	// Drive the rounds by hand so user activity can land mid-run.
+	s.admit(0)
+	if err := s.scheduleRound(0); err != nil {
+		t.Fatal(err)
+	}
+	if len(s.running) != 1 || s.running[0].spec.ID != "victim" {
+		t.Fatalf("victim not placed: %v running", len(s.running))
+	}
+	victim := s.running[0]
+	// Regular users reclaim every one of the victim's hosts...
+	for _, h := range victim.res.Hosts {
+		h.StartJob()
+	}
+	pool.Advance(30 * time.Minute) // ...and their load climbs past 0.6.
+
+	// The head needs 22 ranks; 21 hosts are free. Suspending the victim
+	// would free only user-busy hosts, so nothing may be preempted.
+	s.admit(30 * time.Minute)
+	if err := s.scheduleRound(30 * time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if victim.preempts != 0 {
+		t.Errorf("victim checkpointed %d times despite freeing no capacity", victim.preempts)
+	}
+	if len(s.running) != 1 || s.running[0] != victim {
+		t.Errorf("victim no longer running after futile preemption attempt")
+	}
+	if len(s.queue) != 1 || s.queue[0].spec.ID != "head" {
+		t.Errorf("head should still be queued")
+	}
+}
+
+// TestPerfTimerAddsCommunication: the perf-plane estimate includes the
+// network, so it prices a step at or above the compute-only bound.
+func TestPerfTimerAddsCommunication(t *testing.T) {
+	spec := JobSpec{ID: "x", Method: "lb2d", JX: 4, JY: 4, Side: 40, Steps: 1}
+	hosts := perf.PaperHosts(spec.Ranks())
+	compute, err := ComputeTimer(spec, hosts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	withNet, err := PerfTimer(perf.Ethernet)(spec, hosts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if withNet < compute {
+		t.Errorf("perf step %v < compute-only %v", withNet, compute)
+	}
+	if withNet > 10*compute {
+		t.Errorf("perf step %v implausibly above compute %v", withNet, compute)
+	}
+	// 3D too, exercising the Build3D path.
+	spec3 := JobSpec{ID: "y", Method: "lb3d", JX: 2, JY: 2, JZ: 2, Side: 16, Steps: 1}
+	if _, err := PerfTimer(perf.Ethernet)(spec3, perf.PaperHosts(spec3.Ranks())); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestOversizedJobStallsWithError: a job larger than the pool can never
+// run; the farm reports the stall instead of looping forever.
+func TestOversizedJobStallsWithError(t *testing.T) {
+	_, err := Replay(idlePool(), FIFO, 1, nil,
+		[]JobSpec{{ID: "huge", Method: "lb2d", JX: 6, JY: 5, Side: 10, Steps: 10}})
+	if err == nil {
+		t.Fatal("30-rank job on a 25-host pool completed")
+	}
+}
+
+// TestSubmitValidation covers the spec checks and duplicate IDs.
+func TestSubmitValidation(t *testing.T) {
+	s := New(idlePool(), FIFO, 1)
+	bad := []JobSpec{
+		{},
+		{ID: "x", Method: "nope", JX: 1, JY: 1, Side: 4, Steps: 1},
+		{ID: "x", Method: "lb3d", JX: 1, JY: 1, Side: 4, Steps: 1},             // 3D needs JZ
+		{ID: "x", Method: "lb2d", JX: 1, JY: 1, JZ: 2, Side: 4, Steps: 1},      // 2D with JZ
+		{ID: "x", Method: "lb2d", JX: 0, JY: 1, Side: 4, Steps: 1},             // bad decomp
+		{ID: "x", Method: "lb2d", JX: 1, JY: 1, Side: 0, Steps: 1},             // bad side
+		{ID: "x", Method: "lb2d", JX: 1, JY: 1, Side: 4, Steps: 0},             // bad steps
+		{ID: "x", Method: "lb2d", JX: 1, JY: 1, Side: 4, Steps: 1, Submit: -1}, // negative arrival
+	}
+	for i, sp := range bad {
+		if err := s.Submit(sp, nil); err == nil {
+			t.Errorf("bad spec %d accepted: %+v", i, sp)
+		}
+	}
+	ok := JobSpec{ID: "x", Method: "lb2d", JX: 1, JY: 1, Side: 4, Steps: 1}
+	if err := s.Submit(ok, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Submit(ok, nil); err == nil {
+		t.Error("duplicate ID accepted")
+	}
+}
+
+// TestPolicyNames round-trips the policy names the farm experiment uses.
+func TestPolicyNames(t *testing.T) {
+	for _, pol := range []Policy{FIFO, Priority, WeightedFair} {
+		got, err := ParsePolicy(pol.String())
+		if err != nil || got != pol {
+			t.Errorf("ParsePolicy(%q) = %v, %v", pol.String(), got, err)
+		}
+	}
+	if _, err := ParsePolicy("nope"); err == nil {
+		t.Error("unknown policy accepted")
+	}
+}
+
+// TestSpecWorkload sanity-checks the spec arithmetic.
+func TestSpecWorkload(t *testing.T) {
+	s2 := JobSpec{ID: "a", Method: "lb2d", JX: 3, JY: 2, Side: 10, Steps: 1}
+	if s2.Ranks() != 6 || s2.NodesPerRank() != 100 || s2.Is3D() {
+		t.Errorf("2D spec arithmetic: ranks %d nodes %d 3d %v", s2.Ranks(), s2.NodesPerRank(), s2.Is3D())
+	}
+	s3 := JobSpec{ID: "b", Method: "fd3d", JX: 2, JY: 2, JZ: 3, Side: 4, Steps: 1}
+	if s3.Ranks() != 12 || s3.NodesPerRank() != 64 || !s3.Is3D() {
+		t.Errorf("3D spec arithmetic: ranks %d nodes %d 3d %v", s3.Ranks(), s3.NodesPerRank(), s3.Is3D())
+	}
+}
+
+// TestComputeTimerHeterogeneous: the step runs at the slowest rank's pace.
+func TestComputeTimerHeterogeneous(t *testing.T) {
+	spec := JobSpec{ID: "a", Method: "lb2d", JX: 2, JY: 1, Side: 10, Steps: 1}
+	hosts := []*cluster.Host{
+		cluster.NewHost("fast", cluster.HP715),
+		cluster.NewHost("slow", cluster.HP710),
+	}
+	sec, err := ComputeTimer(spec, hosts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 100.0 / hosts[1].Speed("lb2d")
+	if math.Abs(sec-want) > 1e-12 {
+		t.Errorf("step = %v, want the 710's pace %v", sec, want)
+	}
+}

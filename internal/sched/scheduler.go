@@ -1,0 +1,431 @@
+package sched
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/sched/metrics"
+)
+
+// Scheduler admits, queues, places, runs and preempts many jobs on one
+// shared cluster. It is single-threaded and runs in the cluster's virtual
+// time: the event loop jumps between arrivals and completions, so a trace
+// replays deterministically for a fixed seed regardless of how fast the
+// attached workloads really compute.
+type Scheduler struct {
+	Cluster *cluster.Cluster
+	Policy  Policy
+	// Select holds the section-4.1 thresholds used for capacity checks
+	// and reservations.
+	Select cluster.SelectionPolicy
+	// Timer prices one integration step per placement; defaults to
+	// ComputeTimer. Use PerfTimer for network-aware estimates.
+	Timer StepTimer
+	// Backfill lets jobs behind a blocked queue head run in the gaps its
+	// ranks cannot fill. Disable for strict head-of-line order. Backfill
+	// is aggressive (no EASY-style reservation for the head), so a steady
+	// stream of small jobs can delay a wide head; see ROADMAP.md.
+	Backfill bool
+
+	rng      *rand.Rand
+	pending  []*jobState // submitted, arrival time in the future
+	queue    []*jobState
+	running  []*jobState
+	finished []*jobState
+
+	// servedByUser accumulates virtual service time per tenant, the
+	// WeightedFair bookkeeping.
+	servedByUser map[string]time.Duration
+}
+
+// jobState is the scheduler's view of one job.
+type jobState struct {
+	spec JobSpec
+	work Workload
+
+	remaining float64 // integration steps left (fractional across preemptions)
+	stepSec   float64 // current per-step estimate
+	res       *cluster.Reservation
+	placedAt  time.Duration
+	finishAt  time.Duration
+
+	started    bool
+	firstStart time.Duration
+	doneAt     time.Duration
+	served     time.Duration
+	preempts   int
+	backfilled bool
+}
+
+// userKey returns the job's tenant; an unnamed user makes the job its
+// own tenant.
+func (j *jobState) userKey() string {
+	if j.spec.User != "" {
+		return j.spec.User
+	}
+	return j.spec.ID
+}
+
+// fairShare is the WeightedFair key: the tenant's virtual service time
+// per unit weight.
+func (s *Scheduler) fairShare(j *jobState) float64 {
+	w := j.spec.Weight
+	if w <= 0 {
+		w = 1
+	}
+	return s.servedByUser[j.userKey()].Seconds() / w
+}
+
+// creditService charges served time to the job and its tenant.
+func (s *Scheduler) creditService(j *jobState, d time.Duration) {
+	j.served += d
+	s.servedByUser[j.userKey()] += d
+}
+
+// New builds a scheduler over the cluster with the default selection
+// policy, the compute-only step timer, backfill enabled, and a seeded RNG
+// for the randomized placement scan.
+func New(c *cluster.Cluster, policy Policy, seed int64) *Scheduler {
+	return &Scheduler{
+		Cluster:      c,
+		Policy:       policy,
+		Select:       cluster.DefaultPolicy(),
+		Timer:        ComputeTimer,
+		Backfill:     true,
+		rng:          rand.New(rand.NewSource(seed)),
+		servedByUser: make(map[string]time.Duration),
+	}
+}
+
+// Submit queues a job. A nil workload replays the spec without running a
+// simulation (NullWorkload). All submissions must precede Run.
+func (s *Scheduler) Submit(spec JobSpec, w Workload) error {
+	if err := spec.Validate(); err != nil {
+		return err
+	}
+	for _, js := range s.pending {
+		if js.spec.ID == spec.ID {
+			return fmt.Errorf("sched: duplicate job ID %q", spec.ID)
+		}
+	}
+	if w == nil {
+		w = NullWorkload{}
+	}
+	s.pending = append(s.pending, &jobState{
+		spec:       spec,
+		work:       w,
+		remaining:  float64(spec.Steps),
+		firstStart: -1,
+	})
+	return nil
+}
+
+// Run drives the farm until every submitted job completes and returns the
+// metrics summary. All reported times are relative to the cluster clock
+// at the call.
+func (s *Scheduler) Run() (metrics.Summary, error) {
+	start := s.Cluster.Now()
+	now := func() time.Duration { return s.Cluster.Now() - start }
+	sort.SliceStable(s.pending, func(i, j int) bool {
+		a, b := s.pending[i], s.pending[j]
+		if a.spec.Submit != b.spec.Submit {
+			return a.spec.Submit < b.spec.Submit
+		}
+		return a.spec.ID < b.spec.ID
+	})
+	total := len(s.pending)
+	stalled := 0
+	for len(s.finished) < total {
+		t := now()
+		s.admit(t)
+		if err := s.scheduleRound(t); err != nil {
+			return metrics.Summary{}, err
+		}
+		next, ok := s.nextEvent()
+		if !ok {
+			// Nothing running and no arrivals due: the queue is blocked
+			// on host conditions (user load, idle thresholds). Let
+			// virtual time pass so loads decay and users go idle; give
+			// up after a simulated week without progress.
+			if len(s.queue) == 0 && len(s.pending) == 0 {
+				return metrics.Summary{}, fmt.Errorf("sched: no runnable work but %d jobs unfinished",
+					total-len(s.finished))
+			}
+			next = t + time.Minute
+			if stalled++; stalled > 7*24*60 {
+				return metrics.Summary{}, fmt.Errorf("sched: farm stalled for a simulated week with %d jobs queued (pool %d hosts)",
+					len(s.queue), len(s.Cluster.Hosts))
+			}
+		} else {
+			stalled = 0
+		}
+		if dt := next - t; dt > 0 {
+			s.Cluster.Advance(dt)
+		}
+		if err := s.complete(now()); err != nil {
+			return metrics.Summary{}, err
+		}
+	}
+	return s.summary(), nil
+}
+
+// admit moves every job whose arrival time has passed into the queue.
+func (s *Scheduler) admit(t time.Duration) {
+	keep := s.pending[:0]
+	for _, js := range s.pending {
+		if js.spec.Submit <= t {
+			s.queue = append(s.queue, js)
+		} else {
+			keep = append(keep, js)
+		}
+	}
+	s.pending = keep
+}
+
+// less orders the queue under the active policy; every policy falls back
+// to (Submit, ID) so rounds are deterministic.
+func (s *Scheduler) less(a, b *jobState) bool {
+	switch s.Policy {
+	case Priority:
+		if a.spec.Priority != b.spec.Priority {
+			return a.spec.Priority > b.spec.Priority
+		}
+	case WeightedFair:
+		if fa, fb := s.fairShare(a), s.fairShare(b); fa != fb {
+			return fa < fb
+		}
+	}
+	if a.spec.Submit != b.spec.Submit {
+		return a.spec.Submit < b.spec.Submit
+	}
+	return a.spec.ID < b.spec.ID
+}
+
+// scheduleRound places as many queued jobs as capacity (and, under
+// Priority, preemption) allows. Each placement re-sorts the queue — a
+// placement changes capacity and, under WeightedFair, shares.
+func (s *Scheduler) scheduleRound(t time.Duration) error {
+	for {
+		sort.SliceStable(s.queue, func(i, j int) bool { return s.less(s.queue[i], s.queue[j]) })
+		placed := -1
+		for i, js := range s.queue {
+			ok, err := s.tryPlace(js, t)
+			if err != nil {
+				return err
+			}
+			if ok {
+				if i > 0 {
+					js.backfilled = true
+				}
+				placed = i
+				break
+			}
+			if i == 0 && s.Policy == Priority {
+				ok, err := s.tryPreempt(js, t)
+				if err != nil {
+					return err
+				}
+				if ok {
+					placed = 0
+					break
+				}
+			}
+			if !s.Backfill {
+				break
+			}
+		}
+		if placed < 0 {
+			return nil
+		}
+		s.queue = append(s.queue[:placed], s.queue[placed+1:]...)
+	}
+}
+
+// tryPlace reserves hosts for the job and starts (or resumes) it. A
+// capacity shortfall returns (false, nil); workload failures are fatal.
+func (s *Scheduler) tryPlace(js *jobState, t time.Duration) (bool, error) {
+	res, err := s.Cluster.Reserve(js.spec.ID, js.spec.Ranks(), s.Select, s.rng)
+	if err != nil {
+		return false, nil // capacity shortfall; Reserve shuffles nothing on failure
+	}
+	sec, err := s.Timer(js.spec, res.Hosts)
+	if err != nil {
+		res.Release()
+		return false, err
+	}
+	js.res = res
+	js.stepSec = sec
+	js.placedAt = t
+	js.finishAt = t + time.Duration(js.remaining*sec*float64(time.Second))
+	if !js.started {
+		js.started = true
+		js.firstStart = t
+		err = js.work.Start(res.Hosts)
+	} else {
+		err = js.work.Resume(res.Hosts)
+	}
+	if err != nil {
+		res.Release()
+		return false, fmt.Errorf("sched: starting %s: %w", js.spec.ID, err)
+	}
+	s.running = append(s.running, js)
+	return true, nil
+}
+
+// tryPreempt makes room for the blocked queue head by suspending running
+// jobs of strictly lower priority — lowest priority first, most recently
+// placed first among equals — then places the head.
+func (s *Scheduler) tryPreempt(js *jobState, t time.Duration) (bool, error) {
+	need := js.spec.Ranks() - s.Cluster.Capacity(s.Select)
+	if need <= 0 {
+		return false, nil
+	}
+	var victims []*jobState
+	for _, r := range s.running {
+		if r.spec.Priority < js.spec.Priority {
+			victims = append(victims, r)
+		}
+	}
+	sort.SliceStable(victims, func(i, j int) bool {
+		a, b := victims[i], victims[j]
+		if a.spec.Priority != b.spec.Priority {
+			return a.spec.Priority < b.spec.Priority
+		}
+		if a.placedAt != b.placedAt {
+			return a.placedAt > b.placedAt
+		}
+		return a.spec.ID > b.spec.ID
+	})
+	got := 0
+	var chosen []*jobState
+	for _, v := range victims {
+		// Count only the victim's hosts that will actually be reservable
+		// once released: a host whose regular user got busy since the
+		// victim was placed frees no usable capacity, and suspending for
+		// it would checkpoint a job without unblocking the head.
+		freed := 0
+		for _, h := range v.res.Hosts {
+			if h.UserLoad15() < s.Select.MaxLoad15 {
+				freed++
+			}
+		}
+		if freed == 0 {
+			continue
+		}
+		chosen = append(chosen, v)
+		if got += freed; got >= need {
+			break
+		}
+	}
+	if got < need {
+		return false, nil
+	}
+	for _, v := range chosen {
+		if err := s.preempt(v, t); err != nil {
+			return false, err
+		}
+	}
+	return s.tryPlace(js, t)
+}
+
+// preempt suspends a running job through its workload's checkpoint path,
+// releases its hosts and requeues it with the progress it made credited.
+func (s *Scheduler) preempt(v *jobState, t time.Duration) error {
+	elapsed := t - v.placedAt
+	v.remaining -= elapsed.Seconds() / v.stepSec
+	if v.remaining < 0 {
+		v.remaining = 0
+	}
+	s.creditService(v, elapsed)
+	v.preempts++
+	if err := v.work.Suspend(); err != nil {
+		return fmt.Errorf("sched: suspending %s: %w", v.spec.ID, err)
+	}
+	v.res.Release()
+	v.res = nil
+	for i, r := range s.running {
+		if r == v {
+			s.running = append(s.running[:i], s.running[i+1:]...)
+			break
+		}
+	}
+	s.queue = append(s.queue, v)
+	return nil
+}
+
+// nextEvent returns the earliest upcoming arrival or completion.
+func (s *Scheduler) nextEvent() (time.Duration, bool) {
+	best := time.Duration(-1)
+	for _, js := range s.pending {
+		if best < 0 || js.spec.Submit < best {
+			best = js.spec.Submit
+		}
+	}
+	for _, js := range s.running {
+		if best < 0 || js.finishAt < best {
+			best = js.finishAt
+		}
+	}
+	return best, best >= 0
+}
+
+// complete retires every running job whose virtual finish time has
+// arrived, letting the workload drain and releasing the hosts.
+func (s *Scheduler) complete(t time.Duration) error {
+	for i := 0; i < len(s.running); {
+		js := s.running[i]
+		if js.finishAt > t {
+			i++
+			continue
+		}
+		s.creditService(js, js.finishAt-js.placedAt)
+		js.remaining = 0
+		js.doneAt = js.finishAt
+		if err := js.work.Finish(); err != nil {
+			return fmt.Errorf("sched: finishing %s: %w", js.spec.ID, err)
+		}
+		js.res.Release()
+		js.res = nil
+		s.running = append(s.running[:i], s.running[i+1:]...)
+		s.finished = append(s.finished, js)
+	}
+	return nil
+}
+
+// summary converts the finished jobs into the metrics report.
+func (s *Scheduler) summary() metrics.Summary {
+	jobs := make([]metrics.Job, len(s.finished))
+	for i, js := range s.finished {
+		jobs[i] = metrics.Job{
+			ID:          js.spec.ID,
+			Ranks:       js.spec.Ranks(),
+			Priority:    js.spec.Priority,
+			Submit:      js.spec.Submit,
+			FirstStart:  js.firstStart,
+			Done:        js.doneAt,
+			Served:      js.served,
+			Preemptions: js.preempts,
+			Backfilled:  js.backfilled,
+		}
+	}
+	return metrics.Summarize(jobs, len(s.Cluster.Hosts))
+}
+
+// Replay is the trace-replay convenience: it submits every spec with a
+// NullWorkload and runs the farm to completion — the deterministic
+// policy-comparison entry point cmd/experiments and tests use.
+func Replay(c *cluster.Cluster, policy Policy, seed int64, timer StepTimer, specs []JobSpec) (metrics.Summary, error) {
+	s := New(c, policy, seed)
+	if timer != nil {
+		s.Timer = timer
+	}
+	for _, sp := range specs {
+		if err := s.Submit(sp, nil); err != nil {
+			return metrics.Summary{}, err
+		}
+	}
+	return s.Run()
+}

@@ -1,0 +1,77 @@
+package sched
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/decomp"
+	"repro/internal/netsim"
+	"repro/internal/perf"
+)
+
+// StepTimer estimates the wall-clock seconds one integration step of a
+// job takes on a given placement. The scheduler calls it at every
+// (re)placement, so heterogeneous hosts and changed placements after a
+// preemption are priced correctly.
+type StepTimer func(spec JobSpec, hosts []*cluster.Host) (float64, error)
+
+// ComputeTimer is the communication-free estimate: the parallel step runs
+// at the pace of the slowest rank's local compute, NodesPerRank divided
+// by the host's speed-table rate.
+func ComputeTimer(spec JobSpec, hosts []*cluster.Host) (float64, error) {
+	if len(hosts) < spec.Ranks() {
+		return 0, fmt.Errorf("sched: %d hosts for %d ranks of %s", len(hosts), spec.Ranks(), spec.ID)
+	}
+	nodes := float64(spec.NodesPerRank())
+	worst := 0.0
+	for i := 0; i < spec.Ranks(); i++ {
+		if t := nodes / hosts[i].Speed(spec.Method); t > worst {
+			worst = t
+		}
+	}
+	return worst, nil
+}
+
+// PerfTimer bridges the scheduler to the performance plane: the returned
+// StepTimer builds the job's decomposition, derives its per-step
+// halo-exchange pattern (message counts and sizes per section 6), and
+// replays it through the perf discrete-event engine over a fresh netFn()
+// network — so a job's virtual runtime includes the communication and
+// pipeline effects the compute-only estimate ignores. Each estimate gets
+// its own network instance; cross-job contention on one shared bus is an
+// open item (see ROADMAP.md).
+func PerfTimer(netFn func() netsim.Network) StepTimer {
+	return func(spec JobSpec, hosts []*cluster.Host) (float64, error) {
+		if len(hosts) < spec.Ranks() {
+			return 0, fmt.Errorf("sched: %d hosts for %d ranks of %s", len(hosts), spec.Ranks(), spec.ID)
+		}
+		var workers []perf.WorkerSpec
+		if spec.Is3D() {
+			d, err := decomp.New3D(spec.JX, spec.JY, spec.JZ,
+				spec.Side*spec.JX, spec.Side*spec.JY, spec.Side*spec.JZ)
+			if err != nil {
+				return 0, err
+			}
+			workers, err = perf.Build3D(d, spec.Method, hosts)
+			if err != nil {
+				return 0, err
+			}
+		} else {
+			stencil := decomp.Star
+			if spec.Method == perf.LB2D {
+				stencil = decomp.Full
+			}
+			d, err := decomp.New2D(spec.JX, spec.JY,
+				spec.Side*spec.JX, spec.Side*spec.JY, stencil)
+			if err != nil {
+				return 0, err
+			}
+			workers, err = perf.Build2D(d, spec.Method, hosts)
+			if err != nil {
+				return 0, err
+			}
+		}
+		sec, _, err := perf.Measure(workers, netFn(), 0)
+		return sec, err
+	}
+}

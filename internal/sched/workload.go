@@ -1,0 +1,101 @@
+package sched
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/dump"
+)
+
+// Workload is the functional side of a scheduled job: what actually runs
+// when the scheduler places it. The scheduler calls Start on first
+// placement, Suspend when the job is preempted, Resume on re-placement
+// (hosts may differ — that is the point of migration), and Finish once
+// the job's virtual runtime has elapsed.
+type Workload interface {
+	Start(hosts []*cluster.Host) error
+	Suspend() error
+	Resume(hosts []*cluster.Host) error
+	Finish() error
+}
+
+// NullWorkload replays scheduling decisions only — no simulation runs.
+// Trace replays and policy experiments use it: all metrics come from the
+// virtual-time accounting.
+type NullWorkload struct{}
+
+func (NullWorkload) Start([]*cluster.Host) error  { return nil }
+func (NullWorkload) Suspend() error               { return nil }
+func (NullWorkload) Resume([]*cluster.Host) error { return nil }
+func (NullWorkload) Finish() error                { return nil }
+
+// CoreWorkload drives a real core.Job under the scheduler: Start launches
+// the workers, Suspend checkpoints every rank through the section-5.1
+// migration dump path, Resume rebuilds them from the dumps at the next
+// communication epoch, and Finish waits for completion and shuts the job
+// down. The dump/rebuild round trip is what makes preemption safe — the
+// preempted simulation's results stay bit-identical to an unpreempted
+// run.
+type CoreWorkload struct {
+	Job *core.Job
+	// Cluster, when set, records host placements on the job so HostOf
+	// works and released hosts are unassigned on suspension.
+	Cluster *cluster.Cluster
+
+	states []*dump.State
+}
+
+// Start places the job (if a cluster is attached) and launches it.
+func (c *CoreWorkload) Start(hosts []*cluster.Host) error {
+	if c.Job == nil {
+		return fmt.Errorf("sched: CoreWorkload without a Job")
+	}
+	if c.Cluster != nil {
+		if err := c.Job.PlaceOn(c.Cluster, hosts); err != nil {
+			return err
+		}
+	}
+	c.Job.Start()
+	return nil
+}
+
+// Suspend checkpoints the whole job and stops its workers.
+func (c *CoreWorkload) Suspend() error {
+	states, err := c.Job.Suspend()
+	if err != nil {
+		return err
+	}
+	c.states = states
+	if c.Cluster != nil {
+		c.Job.ReleaseHosts()
+	}
+	return nil
+}
+
+// Resume restarts the job from its checkpoint on the new hosts.
+func (c *CoreWorkload) Resume(hosts []*cluster.Host) error {
+	if c.states == nil {
+		return fmt.Errorf("sched: resume of %d-rank job without a checkpoint", c.Job.P())
+	}
+	if c.Cluster != nil {
+		if err := c.Job.PlaceOn(c.Cluster, hosts); err != nil {
+			return err
+		}
+	}
+	err := c.Job.Resume(c.states)
+	c.states = nil
+	return err
+}
+
+// Finish waits for every rank to complete and shuts the job down.
+func (c *CoreWorkload) Finish() error {
+	if err := c.Job.WaitDone(); err != nil {
+		return err
+	}
+	c.Job.Shutdown()
+	if c.Cluster != nil {
+		c.Job.ReleaseHosts()
+	}
+	return nil
+}
