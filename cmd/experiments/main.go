@@ -14,8 +14,11 @@
 // fig11, fig12, fig13, ablation, migration, convergence, networks
 // (the conclusion's switched/FDDI/ATM outlook), balancing (section 1.1's
 // migration-versus-dynamic-allocation comparison), farm (the multi-job
-// scheduler: FIFO vs priority vs weighted-fair on a fixed workload mix).
-// `-list` prints the available names sorted, one per line.
+// scheduler: FIFO vs priority vs weighted-fair on a fixed workload mix),
+// reclaim (the online farm under a storm of users taking reserved hosts
+// back: same-round migration off reclaimed hosts, repricing, EASY vs
+// aggressive backfill). `-list` prints the available names sorted, one
+// per line.
 package main
 
 import (
@@ -58,11 +61,12 @@ func main() {
 		"networks":    futureNetworks,
 		"balancing":   balancing,
 		"farm":        farm,
+		"reclaim":     reclaimStorm,
 	}
 	order := []string{
 		"speed-table", "mtable", "fig5", "fig6", "fig7", "fig8", "fig9",
 		"fig10", "fig11", "fig12", "fig13", "ablation", "migration", "convergence",
-		"networks", "balancing", "farm",
+		"networks", "balancing", "farm", "reclaim",
 	}
 	if *list {
 		names := make([]string, 0, len(all))

@@ -1,11 +1,22 @@
-// Farm: the multi-job scheduler end to end with a real simulation in the
-// mix. A low-priority 2D lattice-Boltzmann channel flow starts on four
-// hosts of the paper's 25-workstation pool; five virtual minutes later a
-// high-priority 22-rank burst arrives and the scheduler preempts the
-// simulation through the section-5.1 migration protocol — every rank
+// Farm: the online multi-job scheduler end to end with a real simulation
+// in the mix. A low-priority 2D lattice-Boltzmann channel flow starts on
+// four hosts of the paper's 25-workstation pool; five virtual minutes
+// later a high-priority 22-rank burst arrives and the scheduler preempts
+// the simulation through the section-5.1 migration protocol — every rank
 // synchronizes, dumps its state and exits. When the burst drains, the
-// simulation resumes from its checkpoint on freshly reserved hosts, and
-// its final solution is bitwise identical to an undisturbed run.
+// simulation resumes from its checkpoint on freshly reserved hosts. At
+// fifteen virtual minutes a regular user sits back down at one of the
+// simulation's workstations: the farm reacts in the same scheduling
+// round, migrating just the displaced rank to a fresh host and repricing
+// the job, instead of squatting beside the user. After all of that, the
+// final solution is still bitwise identical to an undisturbed run.
+//
+// The scheduler runs with its default EASY backfill (sched.BackfillEASY):
+// jobs behind a blocked queue head may only fill gaps if they finish
+// before the head's projected start, so bursts of small jobs cannot
+// starve a wide one. Set Backfill to sched.BackfillAggressive to see the
+// pre-EASY behaviour, or sched.BackfillNone for strict head-of-line
+// order.
 //
 //	go run ./examples/farm
 package main
@@ -90,7 +101,26 @@ func main() {
 		log.Fatal(err)
 	}
 
-	fmt.Println("running the farm (priority policy, seed 42)...")
+	// Fifteen virtual minutes in — after the burst has drained and the
+	// simulation resumed — a user reclaims one of its workstations.
+	reclaimed := false
+	s.ScenarioEvery = time.Minute
+	s.Scenario = func(t time.Duration, c *cluster.Cluster) {
+		if t < 15*time.Minute || reclaimed {
+			return
+		}
+		for _, h := range c.Hosts {
+			if h.Owner() == "channel-sim" {
+				fmt.Printf("t=%v: user returns to %s; farm migrates the displaced rank\n", t, h.Name)
+				c.Reclaim(h)
+				reclaimed = true
+				return
+			}
+		}
+	}
+
+	fmt.Println("running the farm (priority policy, EASY backfill, seed 42)...")
+	s.Close() // no more submissions: Run drains the farm and returns
 	sum, err := s.Run()
 	if err != nil {
 		log.Fatal(err)
@@ -100,9 +130,11 @@ func main() {
 	got := progs.Gather(steps)
 	for i := range ref.Rho {
 		if ref.Rho[i] != got.Rho[i] || ref.Vx[i] != got.Vx[i] || ref.Vy[i] != got.Vy[i] {
-			log.Fatalf("solution differs at node %d after preemption", i)
+			log.Fatalf("solution differs at node %d after preemption + migration", i)
 		}
 	}
-	fmt.Printf("\nthe preempted simulation's %d-step solution is bitwise identical\n", steps)
-	fmt.Printf("to the undisturbed run (epoch %d: one suspend/resume round trip)\n", job.Epoch())
+	fmt.Printf("\nthe simulation survived %d preemption(s) and %d mid-run migration(s)\n",
+		sum.Preemptions, sum.Migrations)
+	fmt.Printf("and its %d-step solution is bitwise identical to the undisturbed run\n", steps)
+	fmt.Printf("(communication epoch %d after the dump/rebuild round trips)\n", job.Epoch())
 }

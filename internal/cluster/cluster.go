@@ -90,6 +90,11 @@ type Host struct {
 	// idleFor is how long the interactive user has been idle.
 	idleFor time.Duration
 
+	// reclaimed marks the regular user as present via the event protocol
+	// (Cluster.Reclaim / Cluster.UserGone), independent of the lagging
+	// load averages.
+	reclaimed bool
+
 	// assigned is the rank of the parallel subprocess placed here, or -1.
 	assigned int
 
@@ -192,6 +197,9 @@ func (h *Host) Speed(method string) float64 {
 type Cluster struct {
 	Hosts []*Host
 	now   time.Duration
+
+	// events is the pending host event stream (see events.go).
+	events []HostEvent
 }
 
 // NewPaperCluster builds the paper's pool: sixteen 715/50s, six 720s and
@@ -319,8 +327,11 @@ type MigrationPolicy struct {
 func DefaultMigrationPolicy() MigrationPolicy { return MigrationPolicy{MaxLoad5: 1.5} }
 
 // NeedsMigration returns the hosts whose parallel subprocess should migrate:
-// assigned hosts whose five-minute load exceeds the threshold, meaning a
-// second full-time process is running alongside the subprocess.
+// assigned hosts whose five-minute load exceeds the threshold (a second
+// full-time process is running alongside the subprocess), or whose regular
+// user announced their return through the Reclaim event protocol — the
+// event path reacts immediately instead of waiting minutes for the
+// five-minute average to climb.
 func (c *Cluster) NeedsMigration(pol MigrationPolicy) []*Host {
 	var out []*Host
 	for _, h := range c.Hosts {
@@ -328,7 +339,7 @@ func (c *Cluster) NeedsMigration(pol MigrationPolicy) []*Host {
 			continue
 		}
 		_, l5, _ := h.Uptime()
-		if l5 > pol.MaxLoad5 {
+		if l5 > pol.MaxLoad5 || h.reclaimed {
 			out = append(out, h)
 		}
 	}

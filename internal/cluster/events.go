@@ -1,0 +1,74 @@
+package cluster
+
+import "time"
+
+// HostEventKind classifies one entry of the cluster's host event stream.
+type HostEventKind int
+
+const (
+	// EventReclaim records a regular user returning to their
+	// workstation: the host's idle clock resets and a full-time user
+	// process starts. When the host is reserved by a farm job, this is
+	// the section-5.1 trigger — the subprocess must vacate.
+	EventReclaim HostEventKind = iota
+	// EventRelease records the user's last process leaving the host, so
+	// the machine is reservable again.
+	EventRelease
+)
+
+func (k HostEventKind) String() string {
+	switch k {
+	case EventReclaim:
+		return "reclaim"
+	case EventRelease:
+		return "release"
+	}
+	return "event?"
+}
+
+// HostEvent is one entry of the cluster's event stream: a user arriving
+// at or leaving a workstation, stamped with the virtual time it happened.
+// A long-running farm drains the stream every scheduling round and reacts
+// to reclaims of reserved hosts by migrating the displaced ranks.
+type HostEvent struct {
+	Kind HostEventKind
+	Host *Host
+	At   time.Duration
+}
+
+// Reclaim marks the host's regular user as returned: interactive activity
+// is recorded, a full-time user process starts, and the host stops being
+// reservable until UserGone. The event is appended to the cluster's
+// stream so a farm scheduler reacts within its next round instead of
+// waiting for the load averages to climb past the migration threshold.
+func (c *Cluster) Reclaim(h *Host) {
+	h.TouchUser()
+	h.StartJob()
+	h.reclaimed = true
+	c.events = append(c.events, HostEvent{Kind: EventReclaim, Host: h, At: c.now})
+}
+
+// UserGone removes one of the regular user's processes; when it was the
+// last one the user is considered gone, the host becomes reservable again
+// (once its user load decays) and a release event is recorded.
+func (c *Cluster) UserGone(h *Host) {
+	h.StopJob()
+	if h.jobs == 0 && h.reclaimed {
+		h.reclaimed = false
+		c.events = append(c.events, HostEvent{Kind: EventRelease, Host: h, At: c.now})
+	}
+}
+
+// DrainEvents returns the accumulated host events in order and clears the
+// stream. The farm's event loop calls it once per scheduling round.
+func (c *Cluster) DrainEvents() []HostEvent {
+	evs := c.events
+	c.events = nil
+	return evs
+}
+
+// Reclaimed reports whether the regular user is currently present via the
+// Reclaim/UserGone protocol. Unlike the load averages, the flag flips the
+// instant the user returns, which is what lets the farm vacate a host
+// "the moment" its owner needs it rather than minutes later.
+func (h *Host) Reclaimed() bool { return h.reclaimed }

@@ -18,14 +18,27 @@ type Reservation struct {
 // reservable returns the hosts a farm scheduler may claim, split into the
 // preferred idle-user group and the active-user group of section 4.1.
 //
-// It differs from SelectFree in one deliberate way: the load threshold
-// applies to the user-attributable load (UserLoad15) rather than the
-// blended uptime average. The farm knows which subprocesses are its own,
-// so a host that just released one is immediately reusable even though
-// its visible load average has not decayed yet; only regular users'
-// activity makes a host ineligible.
+// It differs from SelectFree in two deliberate ways. First, the load
+// threshold applies to the user-attributable load (UserLoad15) rather
+// than the blended uptime average: the farm knows which subprocesses are
+// its own, so a host that just released one is immediately reusable even
+// though its visible load average has not decayed yet; only regular
+// users' activity makes a host ineligible. Second, a host whose user is
+// present per the Reclaim event protocol is excluded even before the
+// user's load shows up in the averages — otherwise the farm would claim
+// back the very machine it just vacated.
 func (c *Cluster) reservable(pol SelectionPolicy) (idle, active []*Host) {
-	return c.classify(pol, (*Host).UserLoad15)
+	rawIdle, rawActive := c.classify(pol, (*Host).UserLoad15)
+	keep := func(hosts []*Host) []*Host {
+		out := hosts[:0]
+		for _, h := range hosts {
+			if !h.reclaimed {
+				out = append(out, h)
+			}
+		}
+		return out
+	}
+	return keep(rawIdle), keep(rawActive)
 }
 
 // Capacity returns how many hosts a Reserve call could claim right now.
@@ -51,19 +64,7 @@ func (c *Cluster) Reserve(owner string, n int, pol SelectionPolicy, rng *rand.Ra
 		return nil, fmt.Errorf("cluster: reserve %d hosts for %q: only %d reservable",
 			n, owner, len(idle)+len(active))
 	}
-	order := func(hosts []*Host) {
-		if rng != nil {
-			rng.Shuffle(len(hosts), func(i, j int) { hosts[i], hosts[j] = hosts[j], hosts[i] })
-		} else {
-			sort.SliceStable(hosts, func(i, j int) bool { return hosts[i].Name < hosts[j].Name })
-		}
-		// Stable, so the permutation survives within each model tier.
-		sort.SliceStable(hosts, func(i, j int) bool {
-			return modelPreference(hosts[i].Model) < modelPreference(hosts[j].Model)
-		})
-	}
-	order(idle)
-	order(active)
+	orderTiers(idle, active, rng)
 	all := append(idle, active...)
 	r := &Reservation{Owner: owner, Hosts: all[:n:n]}
 	for i, h := range r.Hosts {
@@ -72,14 +73,84 @@ func (c *Cluster) Reserve(owner string, n int, pol SelectionPolicy, rng *rand.Ra
 	return r, nil
 }
 
+// orderTiers arranges each preference group for a reservation scan: a
+// fresh random permutation from rng (or deterministic name order when rng
+// is nil), then a stable sort by model preference so the permutation
+// survives within each model tier.
+func orderTiers(idle, active []*Host, rng *rand.Rand) {
+	order := func(hosts []*Host) {
+		if rng != nil {
+			rng.Shuffle(len(hosts), func(i, j int) { hosts[i], hosts[j] = hosts[j], hosts[i] })
+		} else {
+			sort.SliceStable(hosts, func(i, j int) bool { return hosts[i].Name < hosts[j].Name })
+		}
+		sort.SliceStable(hosts, func(i, j int) bool {
+			return modelPreference(hosts[i].Model) < modelPreference(hosts[j].Model)
+		})
+	}
+	order(idle)
+	order(active)
+}
+
 // Release frees every host still held by the reservation. Hosts whose
 // assignment changed hands since (another owner, or the single-job
 // protocol) are left alone, so Release is safe to call after a job's own
 // cleanup already unassigned them.
 func (r *Reservation) Release() {
 	for _, h := range r.Hosts {
-		if h.assigned >= 0 && h.owner == r.Owner {
+		if h != nil && h.assigned >= 0 && h.owner == r.Owner {
 			h.Unassign()
 		}
 	}
+}
+
+// Shrink releases the reservation's claim on the given hosts — reclaimed
+// by their regular users — and returns the displaced rank indices. The
+// slots are left empty (nil) until Cluster.Migrate rehosts them; a
+// reservation with empty slots cannot serve its job, so Shrink is only a
+// building block of the migrate-or-suspend paths.
+func (r *Reservation) Shrink(drop []*Host) []int {
+	var ranks []int
+	for _, d := range drop {
+		for rank, h := range r.Hosts {
+			if h == nil || h != d {
+				continue
+			}
+			if h.assigned >= 0 && h.owner == r.Owner {
+				h.Unassign()
+			}
+			r.Hosts[rank] = nil
+			ranks = append(ranks, rank)
+		}
+	}
+	sort.Ints(ranks)
+	return ranks
+}
+
+// Migrate moves the reservation's claim off the given busy hosts onto
+// freshly scanned replacements, preserving every displaced rank's slot:
+// afterwards Hosts[rank] is the new home of rank. The replacement scan
+// follows the same preference tiers and random permutation as Reserve.
+// When fewer replacements are reservable than hosts were reclaimed the
+// reservation is left untouched and an error is returned — the caller
+// falls back to suspending the whole job (it must not squat beside the
+// returned users).
+func (c *Cluster) Migrate(r *Reservation, busy []*Host, pol SelectionPolicy, rng *rand.Rand) (ranks []int, repl []*Host, err error) {
+	if len(busy) == 0 {
+		return nil, nil, nil
+	}
+	idle, active := c.reservable(pol)
+	if len(idle)+len(active) < len(busy) {
+		return nil, nil, fmt.Errorf("cluster: migrate %d ranks of %q: only %d reservable hosts",
+			len(busy), r.Owner, len(idle)+len(active))
+	}
+	orderTiers(idle, active, rng)
+	all := append(idle, active...)
+	ranks = r.Shrink(busy)
+	repl = all[:len(ranks):len(ranks)]
+	for i, rank := range ranks {
+		repl[i].AssignTo(r.Owner, rank)
+		r.Hosts[rank] = repl[i]
+	}
+	return ranks, repl, nil
 }

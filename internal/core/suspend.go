@@ -120,6 +120,15 @@ func (j *Job) PlaceOn(c *cluster.Cluster, hosts []*cluster.Host) error {
 	return nil
 }
 
+// Rehost records that a rank now runs on a different host. The farm's
+// reclaim path uses it together with MigrateRanks: the cluster-side swap
+// (cluster.Migrate) has already unassigned the reclaimed host and
+// assigned the replacement, so only the job's own rank->host bookkeeping
+// needs to follow.
+func (j *Job) Rehost(rank int, h *cluster.Host) {
+	j.hostOf[rank] = h
+}
+
 // ReleaseHosts unassigns every host of the job's current placement, for a
 // suspension or a completed run handing the pool back to a scheduler.
 func (j *Job) ReleaseHosts() {

@@ -26,6 +26,11 @@ type Job struct {
 
 	Preemptions int
 	Backfilled  bool
+
+	// Migrations counts ranks moved off reclaimed hosts mid-run, and
+	// Repricings counts the step-time re-estimates those moves caused.
+	Migrations int
+	Repricings int
 }
 
 // Wait is the queue wait: submission to first placement.
@@ -44,6 +49,13 @@ type Summary struct {
 
 	Preemptions int
 	Backfills   int
+
+	// Migrations and Repricings aggregate the per-job mid-run
+	// host-reclaim responses; Reclaims counts the user-return events the
+	// farm observed (set by the scheduler, not derivable from jobs).
+	Migrations int
+	Repricings int
+	Reclaims   int
 }
 
 // Summarize computes the aggregate figures for a set of completed jobs on
@@ -79,6 +91,8 @@ func Summarize(jobs []Job, hosts int) Summary {
 		if j.Backfilled {
 			s.Backfills++
 		}
+		s.Migrations += j.Migrations
+		s.Repricings += j.Repricings
 	}
 	s.Makespan = maxDone - minSubmit
 	s.MeanWait = totalWait / time.Duration(len(s.Jobs))
@@ -92,20 +106,22 @@ func Summarize(jobs []Job, hosts int) Summary {
 // plus the aggregate footer.
 func (s Summary) String() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "%-12s %5s %4s %12s %12s %12s %8s %5s\n",
-		"job", "ranks", "prio", "submit", "wait", "done", "preempt", "bfill")
+	fmt.Fprintf(&b, "%-12s %5s %4s %12s %12s %12s %8s %5s %5s\n",
+		"job", "ranks", "prio", "submit", "wait", "done", "preempt", "bfill", "migr")
 	for _, j := range s.Jobs {
 		bf := ""
 		if j.Backfilled {
 			bf = "yes"
 		}
-		fmt.Fprintf(&b, "%-12s %5d %4d %12s %12s %12s %8d %5s\n",
+		fmt.Fprintf(&b, "%-12s %5d %4d %12s %12s %12s %8d %5s %5d\n",
 			j.ID, j.Ranks, j.Priority,
-			fmtDur(j.Submit), fmtDur(j.Wait()), fmtDur(j.Done), j.Preemptions, bf)
+			fmtDur(j.Submit), fmtDur(j.Wait()), fmtDur(j.Done), j.Preemptions, bf, j.Migrations)
 	}
 	fmt.Fprintf(&b, "makespan %s  mean wait %s  max wait %s  utilization %.3f  preemptions %d  backfills %d\n",
 		fmtDur(s.Makespan), fmtDur(s.MeanWait), fmtDur(s.MaxWait),
 		s.Utilization, s.Preemptions, s.Backfills)
+	fmt.Fprintf(&b, "reclaims %d  migrations %d  repricings %d\n",
+		s.Reclaims, s.Migrations, s.Repricings)
 	return b.String()
 }
 

@@ -1,0 +1,276 @@
+package sched
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/decomp"
+	"repro/internal/fluid"
+	"repro/internal/sched/metrics"
+	"repro/internal/syncfile"
+)
+
+// TestReclaimMigratesBitIdentical is the online farm's acceptance
+// scenario: a real 2D LB simulation runs on four hosts, a regular user
+// reclaims one of them mid-run, and the farm migrates the displaced rank
+// to a fresh host within the next scheduling round — repricing the job —
+// while the finished solution stays bitwise identical to an undisturbed
+// run (the suspend_test.go identity-check pattern, applied to the
+// farm-driven partial migration).
+func TestReclaimMigratesBitIdentical(t *testing.T) {
+	const steps = 40
+	mkCfg := func() *core.Config2D {
+		d, err := decomp.New2D(2, 2, 24, 16, decomp.Full)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d.PeriodicX = true
+		par := fluid.DefaultParams()
+		par.Nu = 0.1
+		par.Eps = 0.01
+		par.ForceX = 1e-5
+		return &core.Config2D{
+			Method: core.MethodLB,
+			Par:    par,
+			Mask:   fluid.ChannelMask2D(24, 16),
+			D:      d,
+		}
+	}
+	ref, _, err := core.RunSequential2D(mkCfg(), steps)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sf, err := syncfile.New(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sf.Poll = time.Millisecond
+	job, progs, err := core.NewJob2D(mkCfg(), core.HubFactory(), sf, steps)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	pool := idlePool()
+	s := New(pool, FIFO, 42)
+	// Side inflates the virtual workload so the reclaim lands mid-run on
+	// the scheduler's clock.
+	err = s.Submit(JobSpec{
+		ID: "sim", Method: "lb2d", JX: 2, JY: 2, Side: 1000, Steps: steps,
+	}, &CoreWorkload{Job: job, Cluster: pool})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Five virtual minutes in, a user sits down at one of the sim's
+	// workstations.
+	reclaimed := false
+	s.ScenarioEvery = time.Minute
+	s.Scenario = func(vt time.Duration, c *cluster.Cluster) {
+		if vt < 5*time.Minute || reclaimed {
+			return
+		}
+		for _, h := range c.Hosts {
+			if h.Owner() == "sim" {
+				c.Reclaim(h)
+				reclaimed = true
+				return
+			}
+		}
+	}
+	s.Close()
+	sum, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if !reclaimed {
+		t.Fatal("scenario never fired; the sim finished before 5 virtual minutes")
+	}
+	if sum.Reclaims != 1 {
+		t.Errorf("reclaims = %d, want 1", sum.Reclaims)
+	}
+	sim := jobByID(t, sum, "sim")
+	if sim.Migrations != 1 {
+		t.Errorf("sim migrations = %d, want 1 (one displaced rank)", sim.Migrations)
+	}
+	if sim.Repricings != 1 {
+		t.Errorf("sim repricings = %d, want 1", sim.Repricings)
+	}
+	if sim.Preemptions != 0 {
+		t.Errorf("sim preemptions = %d, want 0 (migration, not suspension)", sim.Preemptions)
+	}
+	if job.Migrations != 1 {
+		t.Errorf("core job recorded %d migrations, want 1", job.Migrations)
+	}
+	// The user's machine must be free of the farm.
+	for _, h := range pool.Hosts {
+		if h.Reclaimed() && h.Assigned() >= 0 {
+			t.Errorf("farm still squats on reclaimed host %s", h.Name)
+		}
+	}
+
+	got := progs.Gather(steps)
+	for i := range ref.Rho {
+		if ref.Rho[i] != got.Rho[i] || ref.Vx[i] != got.Vx[i] || ref.Vy[i] != got.Vy[i] {
+			t.Fatalf("migrated simulation differs from reference at node %d", i)
+		}
+	}
+}
+
+// TestReclaimFallsBackToSuspend: when no replacement host is reservable
+// the farm must not squat beside the returned user — the whole job
+// checkpoints off the pool and requeues until capacity returns.
+func TestReclaimFallsBackToSuspend(t *testing.T) {
+	pool := idlePool()
+	s := New(pool, FIFO, 7)
+	// The victim holds 4 hosts, the filler the other 21: zero spare.
+	err := s.Submit(JobSpec{
+		ID: "victim", Method: "lb2d", JX: 2, JY: 2, Side: 200, Steps: 2000,
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = s.Submit(JobSpec{
+		ID: "filler", Method: "lb2d", JX: 7, JY: 3, Side: 200, Steps: 1000,
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reclaimed := false
+	s.ScenarioEvery = time.Minute
+	s.Scenario = func(vt time.Duration, c *cluster.Cluster) {
+		if vt < 2*time.Minute || reclaimed {
+			return
+		}
+		for _, h := range c.Hosts {
+			if h.Owner() == "victim" {
+				c.Reclaim(h)
+				reclaimed = true
+				return
+			}
+		}
+	}
+	s.Close()
+	sum, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reclaimed {
+		t.Fatal("scenario never fired")
+	}
+	victim := jobByID(t, sum, "victim")
+	if victim.Preemptions != 1 {
+		t.Errorf("victim preemptions = %d, want 1 (suspension fallback)", victim.Preemptions)
+	}
+	if victim.Migrations != 0 {
+		t.Errorf("victim migrations = %d, want 0 (no replacement capacity)", victim.Migrations)
+	}
+	if len(sum.Jobs) != 2 {
+		t.Errorf("%d jobs finished, want 2", len(sum.Jobs))
+	}
+}
+
+// TestSubmitDuringRun: the farm accepts and schedules work submitted
+// after Run started, idles while empty, and drains cleanly on Close.
+func TestSubmitDuringRun(t *testing.T) {
+	s := New(idlePool(), FIFO, 7)
+	type result struct {
+		sum metrics.Summary
+		err error
+	}
+	done := make(chan result, 1)
+	go func() {
+		sum, err := s.Run()
+		done <- result{sum, err}
+	}()
+
+	if err := s.Submit(JobSpec{
+		ID: "live-a", Method: "lb2d", JX: 2, JY: 2, Side: 40, Steps: 100,
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Submit(JobSpec{
+		ID: "live-b", Method: "fd2d", JX: 1, JY: 1, Side: 40, Steps: 100,
+		Submit: 30 * time.Second,
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	if err := s.Submit(JobSpec{
+		ID: "late", Method: "lb2d", JX: 1, JY: 1, Side: 4, Steps: 1,
+	}, nil); err == nil {
+		t.Error("Submit accepted after Close")
+	}
+
+	select {
+	case r := <-done:
+		if r.err != nil {
+			t.Fatal(r.err)
+		}
+		if len(r.sum.Jobs) != 2 {
+			t.Fatalf("%d jobs finished, want 2", len(r.sum.Jobs))
+		}
+		for _, j := range r.sum.Jobs {
+			if j.Wait() < 0 {
+				t.Errorf("job %s has negative queue wait %v", j.ID, j.Wait())
+			}
+			if j.Done <= j.FirstStart {
+				t.Errorf("job %s done %v <= start %v", j.ID, j.Done, j.FirstStart)
+			}
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("Run did not return after Close")
+	}
+}
+
+// TestEASYBoundsHeadWait: a steady stream of 12-rank jobs starves a
+// 25-rank head under aggressive backfill, while EASY's virtual-finish
+// reservation starts the head as soon as the first small job completes.
+func TestEASYBoundsHeadWait(t *testing.T) {
+	specs := []JobSpec{
+		{ID: "head-wide", Method: "lb2d", JX: 5, JY: 5, Side: 40, Steps: 3000,
+			Submit: time.Minute},
+	}
+	for k := 0; k < 8; k++ {
+		specs = append(specs, JobSpec{
+			ID: string(rune('a'+k)) + "-small", Method: "lb2d", JX: 4, JY: 3,
+			Side: 40, Steps: 15000, Submit: time.Duration(k) * 5 * time.Minute,
+		})
+	}
+	run := func(mode BackfillMode) metrics.Summary {
+		t.Helper()
+		s := New(idlePool(), FIFO, 3)
+		s.Backfill = mode
+		for _, sp := range specs {
+			if err := s.Submit(sp, nil); err != nil {
+				t.Fatal(err)
+			}
+		}
+		s.Close()
+		sum, err := s.Run()
+		if err != nil {
+			t.Fatalf("backfill %v: %v", mode, err)
+		}
+		if len(sum.Jobs) != len(specs) {
+			t.Fatalf("backfill %v: %d jobs finished, want %d", mode, len(sum.Jobs), len(specs))
+		}
+		return sum
+	}
+
+	easy := jobByID(t, run(BackfillEASY), "head-wide").Wait()
+	agg := jobByID(t, run(BackfillAggressive), "head-wide").Wait()
+
+	// EASY: the head starts when the first small job's hosts return,
+	// i.e. within that job's ~11-13 virtual minutes.
+	if easy > 15*time.Minute {
+		t.Errorf("EASY head wait = %v, want under 15m (one small-job runtime)", easy)
+	}
+	// Aggressive: every later small job jumps the head; the stream holds
+	// the pool until it dries up.
+	if agg <= 2*easy {
+		t.Errorf("aggressive head wait %v not much worse than EASY %v — starvation scenario broken", agg, easy)
+	}
+}

@@ -69,6 +69,51 @@ func ParsePolicy(s string) (Policy, error) {
 	return 0, fmt.Errorf("sched: unknown policy %q (fifo, priority, fair)", s)
 }
 
+// BackfillMode selects how jobs behind a blocked queue head may use the
+// gaps its ranks cannot fill.
+type BackfillMode int
+
+const (
+	// BackfillNone enforces strict head-of-line order: nothing behind a
+	// blocked head runs (except a Priority preemption of the head
+	// itself).
+	BackfillNone BackfillMode = iota
+	// BackfillAggressive places any queued job that fits right now. With
+	// no reservation for the head, a steady stream of small jobs can
+	// delay a wide head indefinitely — the starvation hole EASY closes.
+	BackfillAggressive
+	// BackfillEASY grants the blocked head a reservation at its
+	// projected start (computed from the running jobs' virtual finish
+	// times) and backfills only jobs whose own projected finish lands
+	// before it, bounding the head's extra wait. The scheduler default.
+	BackfillEASY
+)
+
+func (m BackfillMode) String() string {
+	switch m {
+	case BackfillNone:
+		return "none"
+	case BackfillAggressive:
+		return "aggressive"
+	case BackfillEASY:
+		return "easy"
+	}
+	return fmt.Sprintf("BackfillMode(%d)", int(m))
+}
+
+// ParseBackfill maps a backfill mode name to its BackfillMode.
+func ParseBackfill(s string) (BackfillMode, error) {
+	switch s {
+	case "none":
+		return BackfillNone, nil
+	case "aggressive":
+		return BackfillAggressive, nil
+	case "easy":
+		return BackfillEASY, nil
+	}
+	return 0, fmt.Errorf("sched: unknown backfill mode %q (none, aggressive, easy)", s)
+}
+
 // methodDims maps the section-7 method names to their dimensionality.
 var methodDims = map[string]int{
 	"lb2d": 2, "fd2d": 2, "lb3d": 3, "fd3d": 3,

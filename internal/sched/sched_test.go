@@ -217,6 +217,7 @@ func TestFarmPreemptsRealCoreJob(t *testing.T) {
 		t.Fatal(err)
 	}
 
+	s.Close()
 	sum, err := s.Run()
 	if err != nil {
 		t.Fatal(err)

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
+	"sync"
 	"time"
 
 	"repro/internal/cluster"
@@ -11,30 +12,56 @@ import (
 )
 
 // Scheduler admits, queues, places, runs and preempts many jobs on one
-// shared cluster. It is single-threaded and runs in the cluster's virtual
-// time: the event loop jumps between arrivals and completions, so a trace
-// replays deterministically for a fixed seed regardless of how fast the
-// attached workloads really compute.
+// shared cluster. It is a long-running online farm: Submit works before
+// and during Run, the event loop idles (blocking, with virtual time
+// frozen) while the farm is empty, and Close drains it for a clean
+// shutdown. Scheduling itself is single-threaded and runs in the
+// cluster's virtual time: the loop jumps between arrivals, completions
+// and scenario ticks, so a trace replays deterministically for a fixed
+// seed regardless of how fast the attached workloads really compute.
 type Scheduler struct {
 	Cluster *cluster.Cluster
 	Policy  Policy
 	// Select holds the section-4.1 thresholds used for capacity checks
 	// and reservations.
 	Select cluster.SelectionPolicy
-	// Timer prices one integration step per placement; defaults to
-	// ComputeTimer. Use PerfTimer for network-aware estimates.
+	// Migration holds the section-5.1 trigger deciding when a reserved
+	// host has become busy with its regular user's work.
+	Migration cluster.MigrationPolicy
+	// Timer prices one integration step per placement or migration;
+	// defaults to ComputeTimer. Use PerfTimer for network-aware
+	// estimates.
 	Timer StepTimer
 	// Backfill lets jobs behind a blocked queue head run in the gaps its
-	// ranks cannot fill. Disable for strict head-of-line order. Backfill
-	// is aggressive (no EASY-style reservation for the head), so a steady
-	// stream of small jobs can delay a wide head; see ROADMAP.md.
-	Backfill bool
+	// ranks cannot fill. The default is BackfillEASY: a backfilled job
+	// must finish before the head's projected start, so a steady stream
+	// of small jobs cannot starve a wide head. BackfillAggressive drops
+	// that reservation (the pre-EASY behaviour); BackfillNone enforces
+	// strict head-of-line order.
+	Backfill BackfillMode
+
+	// Scenario, when set, is invoked on the scheduling goroutine at
+	// every multiple of ScenarioEvery of virtual time while the farm has
+	// work, before completions are retired. Experiments script user
+	// activity through it — reclaim storms via Cluster.Reclaim /
+	// Cluster.UserGone — and may Submit new jobs (live arrivals).
+	Scenario      func(t time.Duration, c *cluster.Cluster)
+	ScenarioEvery time.Duration
 
 	rng      *rand.Rand
-	pending  []*jobState // submitted, arrival time in the future
 	queue    []*jobState
 	running  []*jobState
 	finished []*jobState
+	reclaims int
+
+	// mu guards the fields shared with Submit/Close callers on other
+	// goroutines; everything else is owned by the Run loop.
+	mu      sync.Mutex
+	pending []*jobState // submitted, not yet admitted to the queue
+	ids     map[string]bool
+	closed  bool
+	looping bool
+	wake    chan struct{}
 
 	// servedByUser accumulates virtual service time per tenant, the
 	// WeightedFair bookkeeping.
@@ -53,11 +80,14 @@ type jobState struct {
 	finishAt  time.Duration
 
 	started    bool
+	live       bool // submitted while the farm was running
 	firstStart time.Duration
 	doneAt     time.Duration
 	served     time.Duration
 	preempts   int
 	backfilled bool
+	migrations int
+	repricings int
 }
 
 // userKey returns the job's tenant; an unnamed user makes the job its
@@ -85,64 +115,132 @@ func (s *Scheduler) creditService(j *jobState, d time.Duration) {
 	s.servedByUser[j.userKey()] += d
 }
 
-// New builds a scheduler over the cluster with the default selection
-// policy, the compute-only step timer, backfill enabled, and a seeded RNG
-// for the randomized placement scan.
+// New builds a scheduler over the cluster with the default selection and
+// migration policies, the compute-only step timer, EASY backfill, and a
+// seeded RNG for the randomized placement scan.
 func New(c *cluster.Cluster, policy Policy, seed int64) *Scheduler {
 	return &Scheduler{
 		Cluster:      c,
 		Policy:       policy,
 		Select:       cluster.DefaultPolicy(),
+		Migration:    cluster.DefaultMigrationPolicy(),
 		Timer:        ComputeTimer,
-		Backfill:     true,
+		Backfill:     BackfillEASY,
 		rng:          rand.New(rand.NewSource(seed)),
+		ids:          make(map[string]bool),
+		wake:         make(chan struct{}, 1),
 		servedByUser: make(map[string]time.Duration),
 	}
 }
 
 // Submit queues a job. A nil workload replays the spec without running a
-// simulation (NullWorkload). All submissions must precede Run.
+// simulation (NullWorkload). Submit is safe from any goroutine and works
+// while Run is active: a live submission whose arrival time has already
+// passed on the farm clock is admitted at the current virtual time.
+// Submissions after Close are rejected.
 func (s *Scheduler) Submit(spec JobSpec, w Workload) error {
 	if err := spec.Validate(); err != nil {
 		return err
 	}
-	for _, js := range s.pending {
-		if js.spec.ID == spec.ID {
-			return fmt.Errorf("sched: duplicate job ID %q", spec.ID)
-		}
-	}
 	if w == nil {
 		w = NullWorkload{}
 	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return fmt.Errorf("sched: submit %s: farm is closed", spec.ID)
+	}
+	if s.ids[spec.ID] {
+		s.mu.Unlock()
+		return fmt.Errorf("sched: duplicate job ID %q", spec.ID)
+	}
+	s.ids[spec.ID] = true
 	s.pending = append(s.pending, &jobState{
 		spec:       spec,
 		work:       w,
 		remaining:  float64(spec.Steps),
 		firstStart: -1,
+		live:       s.looping,
 	})
+	s.mu.Unlock()
+	s.wakeup()
 	return nil
 }
 
-// Run drives the farm until every submitted job completes and returns the
-// metrics summary. All reported times are relative to the cluster clock
-// at the call.
+// Close marks the farm closed to new submissions: Run finishes every job
+// already accepted and returns. Safe from any goroutine; Submit after
+// Close fails.
+func (s *Scheduler) Close() {
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+	s.wakeup()
+}
+
+// wakeup nudges an idle Run loop; the buffered token makes the signal
+// level-triggered, so it is never lost between the loop's empty-check
+// and its block.
+func (s *Scheduler) wakeup() {
+	select {
+	case s.wake <- struct{}{}:
+	default:
+	}
+}
+
+// isClosed reports whether Close was called.
+func (s *Scheduler) isClosed() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.closed
+}
+
+// drained reports whether the farm holds no work at all.
+func (s *Scheduler) drained() bool {
+	if len(s.queue) > 0 || len(s.running) > 0 {
+		return false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.pending) == 0
+}
+
+// Run drives the farm: jobs are admitted as their arrival times pass (or
+// the moment they are submitted live), reclaimed hosts are vacated by
+// migration, and completions retire in virtual time. When the farm goes
+// empty the loop blocks until another Submit or Close arrives; after
+// Close it returns the metrics summary once everything accepted has
+// finished. All reported times are relative to the cluster clock at the
+// call.
 func (s *Scheduler) Run() (metrics.Summary, error) {
 	start := s.Cluster.Now()
 	now := func() time.Duration { return s.Cluster.Now() - start }
-	sort.SliceStable(s.pending, func(i, j int) bool {
-		a, b := s.pending[i], s.pending[j]
-		if a.spec.Submit != b.spec.Submit {
-			return a.spec.Submit < b.spec.Submit
-		}
-		return a.spec.ID < b.spec.ID
-	})
-	total := len(s.pending)
-	stalled := 0
-	for len(s.finished) < total {
+	s.mu.Lock()
+	s.looping = true
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		s.looping = false
+		s.mu.Unlock()
+	}()
+	stallSince := time.Duration(-1)
+	for {
 		t := now()
 		s.admit(t)
+		if err := s.handleReclaims(t); err != nil {
+			return metrics.Summary{}, err
+		}
 		if err := s.scheduleRound(t); err != nil {
 			return metrics.Summary{}, err
+		}
+		if s.drained() {
+			if s.isClosed() {
+				break
+			}
+			// Idle: no work anywhere and the farm is still open. Block
+			// until a submission or Close arrives; virtual time stands
+			// still while nobody is computing.
+			<-s.wake
+			continue
 		}
 		next, ok := s.nextEvent()
 		if !ok {
@@ -150,32 +248,51 @@ func (s *Scheduler) Run() (metrics.Summary, error) {
 			// on host conditions (user load, idle thresholds). Let
 			// virtual time pass so loads decay and users go idle; give
 			// up after a simulated week without progress.
-			if len(s.queue) == 0 && len(s.pending) == 0 {
-				return metrics.Summary{}, fmt.Errorf("sched: no runnable work but %d jobs unfinished",
-					total-len(s.finished))
-			}
 			next = t + time.Minute
-			if stalled++; stalled > 7*24*60 {
+			if stallSince < 0 {
+				stallSince = t
+			}
+			if t-stallSince > 7*24*time.Hour {
 				return metrics.Summary{}, fmt.Errorf("sched: farm stalled for a simulated week with %d jobs queued (pool %d hosts)",
 					len(s.queue), len(s.Cluster.Hosts))
 			}
 		} else {
-			stalled = 0
+			stallSince = -1
+		}
+		// Scenario ticks cap the advance so scripted user activity lands
+		// at exact virtual times.
+		tick := time.Duration(-1)
+		if s.Scenario != nil && s.ScenarioEvery > 0 {
+			tick = t - t%s.ScenarioEvery + s.ScenarioEvery
+			if tick < next {
+				next = tick
+			}
 		}
 		if dt := next - t; dt > 0 {
 			s.Cluster.Advance(dt)
 		}
-		if err := s.complete(now()); err != nil {
+		t = now()
+		if tick >= 0 && t == tick {
+			s.Scenario(t, s.Cluster)
+		}
+		if err := s.complete(t); err != nil {
 			return metrics.Summary{}, err
 		}
 	}
 	return s.summary(), nil
 }
 
-// admit moves every job whose arrival time has passed into the queue.
+// admit moves every job whose arrival time has passed into the queue. A
+// live submission's arrival is clamped to the current farm time, so its
+// queue wait never counts time before it existed.
 func (s *Scheduler) admit(t time.Duration) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	keep := s.pending[:0]
 	for _, js := range s.pending {
+		if js.live && js.spec.Submit < t {
+			js.spec.Submit = t
+		}
 		if js.spec.Submit <= t {
 			s.queue = append(s.queue, js)
 		} else {
@@ -183,6 +300,72 @@ func (s *Scheduler) admit(t time.Duration) {
 		}
 	}
 	s.pending = keep
+}
+
+// handleReclaims drains the cluster's host event stream and vacates every
+// reserved host whose regular user came back: the displaced ranks migrate
+// to replacement hosts through the section-5.1 dump/rebuild path and the
+// job is repriced on its new placement, or — when no replacements are
+// reservable — the whole job is suspended and requeued. Either way the
+// farm never squats beside a returned user.
+func (s *Scheduler) handleReclaims(t time.Duration) error {
+	for _, ev := range s.Cluster.DrainEvents() {
+		if ev.Kind == cluster.EventReclaim {
+			s.reclaims++
+		}
+	}
+	busy := s.Cluster.NeedsMigration(s.Migration)
+	if len(busy) == 0 {
+		return nil
+	}
+	byOwner := make(map[string][]*cluster.Host)
+	for _, h := range busy {
+		byOwner[h.Owner()] = append(byOwner[h.Owner()], h)
+	}
+	// Iterate over a copy: a fallback suspension mutates s.running.
+	for _, js := range append([]*jobState(nil), s.running...) {
+		hosts := byOwner[js.spec.ID]
+		if len(hosts) == 0 {
+			continue
+		}
+		if err := s.migrateOff(js, hosts, t); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// migrateOff moves a running job's displaced ranks off the busy hosts and
+// reprices the job on the patched placement; without replacement capacity
+// it falls back to suspending the whole job.
+func (s *Scheduler) migrateOff(js *jobState, busy []*cluster.Host, t time.Duration) error {
+	ranks, repl, err := s.Cluster.Migrate(js.res, busy, s.Select, s.rng)
+	if err != nil {
+		// Not enough reservable hosts to rehost the displaced ranks: the
+		// job checkpoints off the pool entirely and waits in the queue.
+		return s.preempt(js, t)
+	}
+	// Progress so far ran at the old placement's pace; credit it before
+	// the new estimate replaces stepSec.
+	elapsed := t - js.placedAt
+	js.remaining -= elapsed.Seconds() / js.stepSec
+	if js.remaining < 0 {
+		js.remaining = 0
+	}
+	s.creditService(js, elapsed)
+	if err := js.work.Migrate(ranks, repl); err != nil {
+		return fmt.Errorf("sched: migrating %s: %w", js.spec.ID, err)
+	}
+	sec, err := s.Timer(js.spec, js.res.Hosts)
+	if err != nil {
+		return err
+	}
+	js.stepSec = sec
+	js.placedAt = t
+	js.finishAt = t + time.Duration(js.remaining*sec*float64(time.Second))
+	js.migrations += len(ranks)
+	js.repricings++
+	return nil
 }
 
 // less orders the queue under the active policy; every policy falls back
@@ -206,13 +389,24 @@ func (s *Scheduler) less(a, b *jobState) bool {
 
 // scheduleRound places as many queued jobs as capacity (and, under
 // Priority, preemption) allows. Each placement re-sorts the queue — a
-// placement changes capacity and, under WeightedFair, shares.
+// placement changes capacity and, under WeightedFair, shares. Under
+// BackfillEASY a candidate behind the blocked head must finish before the
+// head's projected start (its virtual-finish-time reservation).
 func (s *Scheduler) scheduleRound(t time.Duration) error {
 	for {
 		sort.SliceStable(s.queue, func(i, j int) bool { return s.less(s.queue[i], s.queue[j]) })
 		placed := -1
+		shadow, shadowSet := time.Duration(-1), false
 		for i, js := range s.queue {
-			ok, err := s.tryPlace(js, t)
+			deadline := time.Duration(-1)
+			if i > 0 && s.Backfill == BackfillEASY {
+				if !shadowSet {
+					shadow = s.projectedStart(s.queue[0])
+					shadowSet = true
+				}
+				deadline = shadow
+			}
+			ok, err := s.tryPlace(js, t, deadline)
 			if err != nil {
 				return err
 			}
@@ -233,7 +427,7 @@ func (s *Scheduler) scheduleRound(t time.Duration) error {
 					break
 				}
 			}
-			if !s.Backfill {
+			if s.Backfill == BackfillNone {
 				break
 			}
 		}
@@ -244,9 +438,35 @@ func (s *Scheduler) scheduleRound(t time.Duration) error {
 	}
 }
 
+// projectedStart estimates when the blocked queue head could start: the
+// earliest virtual time at which enough hosts are reservable, assuming
+// every running job returns its hosts at its virtual finish time and
+// host conditions stay as they are. It returns -1 when running-job
+// completions alone never free enough hosts (the head waits on user
+// activity instead) — no reservation is computable then, and EASY
+// backfill degrades to the aggressive mode until conditions change.
+func (s *Scheduler) projectedStart(head *jobState) time.Duration {
+	free := s.Cluster.Capacity(s.Select)
+	need := head.spec.Ranks()
+	run := append([]*jobState(nil), s.running...)
+	sort.SliceStable(run, func(i, j int) bool { return run[i].finishAt < run[j].finishAt })
+	for _, r := range run {
+		if free >= need {
+			break
+		}
+		free += r.spec.Ranks()
+		if free >= need {
+			return r.finishAt
+		}
+	}
+	return -1
+}
+
 // tryPlace reserves hosts for the job and starts (or resumes) it. A
 // capacity shortfall returns (false, nil); workload failures are fatal.
-func (s *Scheduler) tryPlace(js *jobState, t time.Duration) (bool, error) {
+// A non-negative deadline is an EASY backfill window: the placement is
+// abandoned when the job's projected finish would overrun it.
+func (s *Scheduler) tryPlace(js *jobState, t time.Duration, deadline time.Duration) (bool, error) {
 	res, err := s.Cluster.Reserve(js.spec.ID, js.spec.Ranks(), s.Select, s.rng)
 	if err != nil {
 		return false, nil // capacity shortfall; Reserve shuffles nothing on failure
@@ -256,10 +476,15 @@ func (s *Scheduler) tryPlace(js *jobState, t time.Duration) (bool, error) {
 		res.Release()
 		return false, err
 	}
+	finish := t + time.Duration(js.remaining*sec*float64(time.Second))
+	if deadline >= 0 && finish > deadline {
+		res.Release()
+		return false, nil
+	}
 	js.res = res
 	js.stepSec = sec
 	js.placedAt = t
-	js.finishAt = t + time.Duration(js.remaining*sec*float64(time.Second))
+	js.finishAt = finish
 	if !js.started {
 		js.started = true
 		js.firstStart = t
@@ -308,7 +533,7 @@ func (s *Scheduler) tryPreempt(js *jobState, t time.Duration) (bool, error) {
 		// it would checkpoint a job without unblocking the head.
 		freed := 0
 		for _, h := range v.res.Hosts {
-			if h.UserLoad15() < s.Select.MaxLoad15 {
+			if !h.Reclaimed() && h.UserLoad15() < s.Select.MaxLoad15 {
 				freed++
 			}
 		}
@@ -328,7 +553,7 @@ func (s *Scheduler) tryPreempt(js *jobState, t time.Duration) (bool, error) {
 			return false, err
 		}
 	}
-	return s.tryPlace(js, t)
+	return s.tryPlace(js, t, -1)
 }
 
 // preempt suspends a running job through its workload's checkpoint path,
@@ -359,11 +584,13 @@ func (s *Scheduler) preempt(v *jobState, t time.Duration) error {
 // nextEvent returns the earliest upcoming arrival or completion.
 func (s *Scheduler) nextEvent() (time.Duration, bool) {
 	best := time.Duration(-1)
+	s.mu.Lock()
 	for _, js := range s.pending {
 		if best < 0 || js.spec.Submit < best {
 			best = js.spec.Submit
 		}
 	}
+	s.mu.Unlock()
 	for _, js := range s.running {
 		if best < 0 || js.finishAt < best {
 			best = js.finishAt
@@ -409,14 +636,19 @@ func (s *Scheduler) summary() metrics.Summary {
 			Served:      js.served,
 			Preemptions: js.preempts,
 			Backfilled:  js.backfilled,
+			Migrations:  js.migrations,
+			Repricings:  js.repricings,
 		}
 	}
-	return metrics.Summarize(jobs, len(s.Cluster.Hosts))
+	sum := metrics.Summarize(jobs, len(s.Cluster.Hosts))
+	sum.Reclaims = s.reclaims
+	return sum
 }
 
 // Replay is the trace-replay convenience: it submits every spec with a
-// NullWorkload and runs the farm to completion — the deterministic
-// policy-comparison entry point cmd/experiments and tests use.
+// NullWorkload, closes the farm and runs it to completion — the
+// deterministic policy-comparison entry point cmd/experiments and tests
+// use.
 func Replay(c *cluster.Cluster, policy Policy, seed int64, timer StepTimer, specs []JobSpec) (metrics.Summary, error) {
 	s := New(c, policy, seed)
 	if timer != nil {
@@ -427,5 +659,6 @@ func Replay(c *cluster.Cluster, policy Policy, seed int64, timer StepTimer, spec
 			return metrics.Summary{}, err
 		}
 	}
+	s.Close()
 	return s.Run()
 }

@@ -11,12 +11,17 @@ import (
 // Workload is the functional side of a scheduled job: what actually runs
 // when the scheduler places it. The scheduler calls Start on first
 // placement, Suspend when the job is preempted, Resume on re-placement
-// (hosts may differ — that is the point of migration), and Finish once
-// the job's virtual runtime has elapsed.
+// (hosts may differ — that is the point of migration), Migrate when some
+// of the job's ranks move to new hosts mid-run because regular users
+// reclaimed theirs, and Finish once the job's virtual runtime has
+// elapsed.
 type Workload interface {
 	Start(hosts []*cluster.Host) error
 	Suspend() error
 	Resume(hosts []*cluster.Host) error
+	// Migrate moves ranks[i] to hosts[i] while the rest of the job keeps
+	// its placement.
+	Migrate(ranks []int, hosts []*cluster.Host) error
 	Finish() error
 }
 
@@ -25,10 +30,11 @@ type Workload interface {
 // virtual-time accounting.
 type NullWorkload struct{}
 
-func (NullWorkload) Start([]*cluster.Host) error  { return nil }
-func (NullWorkload) Suspend() error               { return nil }
-func (NullWorkload) Resume([]*cluster.Host) error { return nil }
-func (NullWorkload) Finish() error                { return nil }
+func (NullWorkload) Start([]*cluster.Host) error          { return nil }
+func (NullWorkload) Suspend() error                       { return nil }
+func (NullWorkload) Resume([]*cluster.Host) error         { return nil }
+func (NullWorkload) Migrate([]int, []*cluster.Host) error { return nil }
+func (NullWorkload) Finish() error                        { return nil }
 
 // CoreWorkload drives a real core.Job under the scheduler: Start launches
 // the workers, Suspend checkpoints every rank through the section-5.1
@@ -86,6 +92,20 @@ func (c *CoreWorkload) Resume(hosts []*cluster.Host) error {
 	err := c.Job.Resume(c.states)
 	c.states = nil
 	return err
+}
+
+// Migrate executes the section-5.1 protocol for just the displaced
+// ranks: every process synchronizes, the displaced ones dump and exit,
+// and they restart from their dumps at the next communication epoch on
+// the new hosts. The rest of the job never leaves its machines, and the
+// computation stays bit-identical.
+func (c *CoreWorkload) Migrate(ranks []int, hosts []*cluster.Host) error {
+	if c.Cluster != nil {
+		for i, r := range ranks {
+			c.Job.Rehost(r, hosts[i])
+		}
+	}
+	return c.Job.MigrateRanks(ranks, nil)
 }
 
 // Finish waits for every rank to complete and shuts the job down.
