@@ -1,0 +1,147 @@
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"reflect"
+	"time"
+
+	"repro/internal/ckpt"
+	"repro/internal/cluster"
+	"repro/internal/sched"
+	"repro/internal/sched/metrics"
+)
+
+// crashStorm scripts deterministic user activity from nothing but the
+// virtual time and the observable cluster state: every ten minutes a
+// user sits down at the first reserved, un-reclaimed workstation (scan
+// order), and at every ten-minutes-plus-five mark the first returned
+// user packs up again. Because it keeps no state of its own, the exact
+// same function can be re-attached to a scheduler restored from a
+// checkpoint — the restored cluster snapshot makes it take the same
+// decisions the dead coordinator's copy would have.
+func crashStorm(t time.Duration, c *cluster.Cluster) {
+	switch {
+	case t > 0 && t%(10*time.Minute) == 0:
+		for _, h := range c.Hosts {
+			if h.Assigned() >= 0 && !h.Reclaimed() {
+				c.Reclaim(h)
+				return
+			}
+		}
+	case t > 5*time.Minute && t%(10*time.Minute) == 5*time.Minute:
+		for _, h := range c.Hosts {
+			if h.Reclaimed() && h.Jobs() > 0 {
+				c.UserGone(h)
+				return
+			}
+		}
+	}
+}
+
+// crashRecovery is the coordinator-crash experiment: the reclaim-storm
+// workload runs twice on the same seed — once uninterrupted, once
+// checkpointed to disk twelve minutes in and then killed mid-storm. A
+// fresh scheduler restored from the checkpoint directory finishes the
+// second farm, and the two summaries must match bit for bit: the
+// manifest carries the virtual clock, RNG state, queue order, per-job
+// accounting and full cluster snapshot, so recovery replays the exact
+// future the crash stole. Any mismatch is a fatal error (CI runs this
+// as a smoke test).
+func crashRecovery() {
+	const crashAt = 12 * time.Minute
+	header("Coordinator crash recovery: checkpoint mid-storm, kill, restore (seed 1, FIFO)")
+	specs := stormMix()
+	fmt.Printf("%d jobs; a user reclaims a reserved host every 10 virtual minutes and\n", len(specs))
+	fmt.Printf("leaves at the +5 marks; the coordinator dies at t=%v and is restored\n\n", crashAt)
+
+	setup := func() *sched.Scheduler {
+		c := cluster.NewPaperCluster()
+		c.Advance(30 * time.Minute) // quiet pool, users idle
+		s := sched.New(c, sched.FIFO, 1)
+		s.ScenarioEvery = time.Minute
+		s.Scenario = crashStorm
+		for _, sp := range specs {
+			if err := s.Submit(sp, nil); err != nil {
+				log.Fatal(err)
+			}
+		}
+		s.Close()
+		return s
+	}
+
+	// The uninterrupted reference.
+	want, err := setup().Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The doomed coordinator: same trace, but at crashAt it persists the
+	// farm and "dies" (the in-memory scheduler is discarded).
+	dir, err := os.MkdirTemp("", "fluidsim-crash-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	doomed := setup()
+	crashed := false
+	doomed.Scenario = func(t time.Duration, c *cluster.Cluster) {
+		crashStorm(t, c)
+		if t >= crashAt && !crashed {
+			crashed = true
+			if err := doomed.Checkpoint(dir); err != nil {
+				log.Fatal(err)
+			}
+			doomed.Interrupt()
+		}
+	}
+	if _, err := doomed.Run(); err != sched.ErrInterrupted {
+		log.Fatalf("crashed run: %v (want ErrInterrupted)", err)
+	}
+	doomed.Close() // hand the doomed pool's reservations back (idempotent)
+
+	m, err := ckpt.Load(dir)
+	if err != nil {
+		log.Fatal(err)
+	}
+	byPhase := map[string]int{}
+	for _, jr := range m.Jobs {
+		byPhase[jr.Phase]++
+	}
+	fmt.Printf("checkpoint at t=%v: %d jobs (%d running, %d queued, %d pending, %d finished), %d reclaims so far\n",
+		m.SavedAt, len(m.Jobs), byPhase[ckpt.PhaseRunning], byPhase[ckpt.PhaseQueued],
+		byPhase[ckpt.PhasePending], byPhase[ckpt.PhaseFinished], m.Reclaims)
+
+	// Recovery: a fresh pool, a fresh scheduler, the same stateless
+	// scenario re-attached — and the tail of the storm replayed.
+	restored, err := sched.Restore(dir, cluster.NewPaperCluster(), nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	restored.ScenarioEvery = time.Minute
+	restored.Scenario = crashStorm
+	got, err := restored.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("\n%-14s %12s %12s %12s %9s %9s %9s\n",
+		"run", "makespan", "mean wait", "max wait", "util", "reclaims", "migr")
+	for _, row := range []struct {
+		name string
+		sum  metrics.Summary
+	}{{"uninterrupted", want}, {"restored", got}} {
+		fmt.Printf("%-14s %12s %12s %12s %9.3f %9d %9d\n",
+			row.name, row.sum.Makespan.Round(time.Second), row.sum.MeanWait.Round(time.Second),
+			row.sum.MaxWait.Round(time.Second), row.sum.Utilization, row.sum.Reclaims, row.sum.Migrations)
+	}
+
+	if !reflect.DeepEqual(want, got) {
+		log.Fatalf("IDENTITY MISMATCH: the restored farm's summary differs from the uninterrupted run\nwant:\n%v\ngot:\n%v", want, got)
+	}
+	fmt.Println("\nevery per-job field and aggregate metric of the restored run is")
+	fmt.Println("bit-identical to the uninterrupted one: the manifest (virtual clock,")
+	fmt.Println("RNG state, queue order, fair-share credit, cluster snapshot) plus the")
+	fmt.Println("per-rank dump files are a complete coordinator state.")
+}

@@ -17,8 +17,10 @@
 // scheduler: FIFO vs priority vs weighted-fair on a fixed workload mix),
 // reclaim (the online farm under a storm of users taking reserved hosts
 // back: same-round migration off reclaimed hosts, repricing, EASY vs
-// aggressive backfill). `-list` prints the available names sorted, one
-// per line.
+// aggressive backfill), crash (coordinator crash recovery: checkpoint
+// the farm mid-storm, kill it, restore from disk and finish
+// bit-identically). `-list` prints the available names sorted, one per
+// line.
 package main
 
 import (
@@ -62,11 +64,12 @@ func main() {
 		"balancing":   balancing,
 		"farm":        farm,
 		"reclaim":     reclaimStorm,
+		"crash":       crashRecovery,
 	}
 	order := []string{
 		"speed-table", "mtable", "fig5", "fig6", "fig7", "fig8", "fig9",
 		"fig10", "fig11", "fig12", "fig13", "ablation", "migration", "convergence",
-		"networks", "balancing", "farm", "reclaim",
+		"networks", "balancing", "farm", "reclaim", "crash",
 	}
 	if *list {
 		names := make([]string, 0, len(all))

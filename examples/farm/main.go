@@ -18,6 +18,13 @@
 // pre-EASY behaviour, or sched.BackfillNone for strict head-of-line
 // order.
 //
+// The farm also checkpoints itself to disk every four virtual minutes
+// (CheckpointEvery): the running simulation's rank states are persisted
+// through the suspend-and-resume snapshot — without evicting it — next
+// to a manifest holding the coordinator's complete bookkeeping, so a
+// crashed coordinator could be rebuilt with sched.Restore and finish
+// bit-identically (see `go run ./cmd/experiments -exp=crash`).
+//
 //	go run ./examples/farm
 package main
 
@@ -27,6 +34,7 @@ import (
 	"os"
 	"time"
 
+	"repro/internal/ckpt"
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/decomp"
@@ -82,6 +90,16 @@ func main() {
 	pool.Advance(30 * time.Minute) // everyone idle: the whole pool is free
 
 	s := sched.New(pool, sched.Priority, 42)
+	// Durability: persist the whole farm every four virtual minutes. A
+	// running simulation is checkpointed through the suspend/resume
+	// round trip, so it keeps its hosts and its results stay identical.
+	ckptDir, err := os.MkdirTemp("", "fluidsim-ckpt-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(ckptDir)
+	s.CheckpointEvery = 4 * time.Minute
+	s.CheckpointDir = ckptDir
 	// The simulation: low priority. Side inflates its virtual workload so
 	// the burst arrives mid-run on the scheduler's clock.
 	err = s.Submit(sched.JobSpec{
@@ -137,4 +155,17 @@ func main() {
 		sum.Preemptions, sum.Migrations)
 	fmt.Printf("and its %d-step solution is bitwise identical to the undisturbed run\n", steps)
 	fmt.Printf("(communication epoch %d after the dump/rebuild round trips)\n", job.Epoch())
+
+	if m, err := ckpt.Load(ckptDir); err == nil {
+		saved := 0
+		for _, jr := range m.Jobs {
+			if len(jr.StateSteps) > 0 {
+				saved++
+			}
+		}
+		fmt.Printf("\nlast auto-checkpoint: t=%v, %d jobs in the manifest (%d with rank\n",
+			m.SavedAt, len(m.Jobs), saved)
+		fmt.Println("states on disk) — a crashed coordinator would restore from it with")
+		fmt.Println("sched.Restore and finish this exact farm, bit-identically")
+	}
 }

@@ -66,6 +66,34 @@ func (j *Job) Suspend() ([]*dump.State, error) {
 	return out, nil
 }
 
+// Snapshot checkpoints a running job without giving up its hosts: the
+// suspend protocol runs in full — every rank synchronizes, dumps its
+// state and exits — and the job immediately resumes from the captured
+// states on the same placement. The returned states are frozen at the
+// save point (Resume re-stamps epochs on its own copies), so a farm
+// coordinator can persist them to disk while the computation continues;
+// the suspend/resume round trip carries the same bit-identity guarantee
+// as a migration, so taking a snapshot never changes the results.
+func (j *Job) Snapshot() ([]*dump.State, error) {
+	states, err := j.Suspend()
+	if err != nil {
+		return nil, fmt.Errorf("core: snapshot: %w", err)
+	}
+	// Resume overwrites each state's Epoch for the restarted workers; hand
+	// the caller shallow copies so the persisted checkpoint keeps the save
+	// point's view. The field arrays are never mutated after a dump
+	// (RestoreState copies out of them), so sharing them is safe.
+	out := make([]*dump.State, len(states))
+	for i, st := range states {
+		cp := *st
+		out[i] = &cp
+	}
+	if err := j.Resume(states); err != nil {
+		return nil, fmt.Errorf("core: snapshot: %w", err)
+	}
+	return out, nil
+}
+
 // Resume restarts a suspended job from the states Suspend returned: every
 // rank's Program is rebuilt from its dump and a fresh worker starts at
 // the next communication epoch, exactly as step 4 of the migration

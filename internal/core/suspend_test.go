@@ -55,6 +55,74 @@ func TestSuspendResumePreservesSolution(t *testing.T) {
 	}
 }
 
+// TestSnapshotKeepsRunning checkpoints a running job without evicting it:
+// Snapshot returns states frozen at the save point while the job
+// continues to completion, bit-identical to an uninterrupted run — and a
+// second job rebuilt from the snapshot finishes with the same bits too.
+// This is the farm coordinator's durability primitive: persist a running
+// job's state without giving up its hosts.
+func TestSnapshotKeepsRunning(t *testing.T) {
+	const steps = 40
+	ref, _, err := RunSequential2D(channelConfig(t, MethodLB, 2, 2, 24, 16), steps)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cfg := channelConfig(t, MethodLB, 2, 2, 24, 16)
+	j, jp := newTestJob(t, cfg, steps)
+	j.Start()
+	time.Sleep(15 * time.Millisecond)
+
+	states, err := j.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(states) != 4 {
+		t.Fatalf("snapshot returned %d states, want 4", len(states))
+	}
+	savedSteps := make([]int, len(states))
+	for rank, st := range states {
+		if st.Rank != rank {
+			t.Errorf("state %d has rank %d, want sorted by rank", rank, st.Rank)
+		}
+		savedSteps[rank] = st.Step
+	}
+
+	// The job kept its workers: it must finish on its own, undisturbed.
+	if err := j.WaitDone(); err != nil {
+		t.Fatal(err)
+	}
+	j.Shutdown()
+	got := jp.Gather(steps)
+	if ok, x, y, d := resultsEqual(ref, got, 0); !ok {
+		t.Errorf("snapshotted run differs from reference at (%d,%d) by %g", x, y, d)
+	}
+
+	// The returned states stayed frozen at the save point even though the
+	// job ran past it.
+	for rank, st := range states {
+		if st.Step != savedSteps[rank] {
+			t.Errorf("rank %d snapshot advanced from step %d to %d", rank, savedSteps[rank], st.Step)
+		}
+	}
+
+	// A fresh job restored from the snapshot finishes bit-identically —
+	// the coordinator-crash restore path.
+	cfg2 := channelConfig(t, MethodLB, 2, 2, 24, 16)
+	j2, jp2 := newTestJob(t, cfg2, steps)
+	if err := j2.Resume(states); err != nil {
+		t.Fatal(err)
+	}
+	if err := j2.WaitDone(); err != nil {
+		t.Fatal(err)
+	}
+	j2.Shutdown()
+	got2 := jp2.Gather(steps)
+	if ok, x, y, d := resultsEqual(ref, got2, 0); !ok {
+		t.Errorf("restored run differs from reference at (%d,%d) by %g", x, y, d)
+	}
+}
+
 // TestSuspendTwice exercises repeated preemption of the same job.
 func TestSuspendTwice(t *testing.T) {
 	const steps = 30

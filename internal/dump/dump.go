@@ -13,6 +13,7 @@ package dump
 
 import (
 	"encoding/gob"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -149,11 +150,28 @@ func (s *Sequencer) SaveAll(dir string, states []*State) error {
 	return nil
 }
 
-// LoadAll loads the dumps of ranks 0..p-1 from dir.
+// LoadAll loads the dumps of ranks 0..p-1 from dir. A partial checkpoint
+// is reported by listing every missing rank (not just the first open
+// failure), and a directory holding more rank dumps than the caller's
+// manifest expects is rejected — either way the caller learns the
+// checkpoint disagrees with what it believes about the simulation instead
+// of restarting a wrong one.
 func LoadAll(dir string, p int) ([]*State, error) {
+	extra, err := filepath.Glob(filepath.Join(dir, "dump-rank*.gob"))
+	if err != nil {
+		return nil, fmt.Errorf("dump: scan %s: %w", dir, err)
+	}
+	if len(extra) > p {
+		return nil, fmt.Errorf("dump: %s holds %d rank dumps, expected %d", dir, len(extra), p)
+	}
 	out := make([]*State, p)
+	var missing []int
 	for rank := 0; rank < p; rank++ {
 		st, err := Load(Path(dir, rank))
+		if errors.Is(err, os.ErrNotExist) {
+			missing = append(missing, rank)
+			continue
+		}
 		if err != nil {
 			return nil, err
 		}
@@ -161,6 +179,10 @@ func LoadAll(dir string, p int) ([]*State, error) {
 			return nil, fmt.Errorf("dump: file %s holds rank %d", Path(dir, rank), st.Rank)
 		}
 		out[rank] = st
+	}
+	if len(missing) > 0 {
+		return nil, fmt.Errorf("dump: %s is a partial checkpoint: ranks %v missing (%d of %d present)",
+			dir, missing, p-len(missing), p)
 	}
 	return out, nil
 }

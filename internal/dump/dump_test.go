@@ -3,6 +3,7 @@ package dump
 import (
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 	"time"
 )
@@ -101,6 +102,56 @@ func TestSaveAllLoadAll(t *testing.T) {
 	}
 	if _, err := LoadAll(dir, 4); err == nil {
 		t.Error("LoadAll with a missing rank succeeded")
+	}
+}
+
+// TestLoadAllReportsMissingRanks: a partial checkpoint names every absent
+// rank, not just the first open failure, so an operator sees at a glance
+// how torn the directory is.
+func TestLoadAllReportsMissingRanks(t *testing.T) {
+	dir := t.TempDir()
+	seq := NewSequencer(0)
+	states := []*State{sampleState(0), sampleState(1), sampleState(2), sampleState(3)}
+	for i, st := range states {
+		st.Rank = i
+	}
+	if err := seq.SaveAll(dir, states); err != nil {
+		t.Fatal(err)
+	}
+	for _, rank := range []int{1, 3} {
+		if err := os.Remove(Path(dir, rank)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_, err := LoadAll(dir, 4)
+	if err == nil {
+		t.Fatal("partial checkpoint loaded")
+	}
+	for _, want := range []string{"[1 3]", "2 of 4"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q does not mention %q", err, want)
+		}
+	}
+}
+
+// TestLoadAllRejectsExtraRanks: a directory with more rank dumps than the
+// manifest claims is a shape disagreement, not a smaller simulation.
+func TestLoadAllRejectsExtraRanks(t *testing.T) {
+	dir := t.TempDir()
+	seq := NewSequencer(0)
+	states := []*State{sampleState(0), sampleState(1), sampleState(2)}
+	for i, st := range states {
+		st.Rank = i
+	}
+	if err := seq.SaveAll(dir, states); err != nil {
+		t.Fatal(err)
+	}
+	_, err := LoadAll(dir, 2)
+	if err == nil {
+		t.Fatal("LoadAll accepted a directory with an extra rank dump")
+	}
+	if !strings.Contains(err.Error(), "3 rank dumps, expected 2") {
+		t.Errorf("error %q does not describe the rank-count disagreement", err)
 	}
 }
 

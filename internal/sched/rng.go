@@ -1,0 +1,43 @@
+package sched
+
+// splitmix is the scheduler's random source for the reservation scan's
+// random permutations: SplitMix64 (Steele, Lea & Flood's mix of a Weyl
+// sequence), a full-period 64-bit generator whose entire state is one
+// word. The farm uses it instead of math/rand's default source because a
+// checkpoint must persist the generator mid-run: State/SetState let
+// Scheduler.Checkpoint write the word into the manifest and Restore
+// resume the exact permutation stream, which is part of what makes a
+// killed-and-restored farm finish bit-identically to an uninterrupted
+// one.
+type splitmix struct {
+	s uint64
+}
+
+func newSplitmix(seed int64) *splitmix {
+	return &splitmix{s: uint64(seed)}
+}
+
+// Uint64 advances the Weyl sequence and mixes it (rand.Source64).
+func (r *splitmix) Uint64() uint64 {
+	r.s += 0x9e3779b97f4a7c15
+	z := r.s
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Int63 narrows Uint64 (rand.Source).
+func (r *splitmix) Int63() int64 {
+	return int64(r.Uint64() >> 1)
+}
+
+// Seed resets the state (rand.Source).
+func (r *splitmix) Seed(seed int64) {
+	r.s = uint64(seed)
+}
+
+// State returns the generator's complete state for a checkpoint manifest.
+func (r *splitmix) State() uint64 { return r.s }
+
+// SetState resumes the generator from a checkpointed state.
+func (r *splitmix) SetState(s uint64) { r.s = s }

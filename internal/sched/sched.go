@@ -28,6 +28,8 @@ package sched
 import (
 	"fmt"
 	"time"
+
+	"repro/internal/ckpt"
 )
 
 // Policy selects the queueing discipline.
@@ -176,6 +178,11 @@ func (s JobSpec) NodesPerRank() int {
 func (s JobSpec) Validate() error {
 	if s.ID == "" {
 		return fmt.Errorf("sched: job needs an ID")
+	}
+	// IDs name checkpoint subdirectories; reject at submission what
+	// Checkpoint would otherwise choke on mid-run.
+	if err := ckpt.CheckJobID(s.ID); err != nil {
+		return fmt.Errorf("sched: job %s: %w", s.ID, err)
 	}
 	dim, ok := methodDims[s.Method]
 	if !ok {

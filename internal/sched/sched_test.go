@@ -343,6 +343,9 @@ func TestSubmitValidation(t *testing.T) {
 		{ID: "x", Method: "lb2d", JX: 1, JY: 1, Side: 0, Steps: 1},             // bad side
 		{ID: "x", Method: "lb2d", JX: 1, JY: 1, Side: 4, Steps: 0},             // bad steps
 		{ID: "x", Method: "lb2d", JX: 1, JY: 1, Side: 4, Steps: 1, Submit: -1}, // negative arrival
+		{ID: "a/b", Method: "lb2d", JX: 1, JY: 1, Side: 4, Steps: 1},           // ID with path separator
+		{ID: `a\b`, Method: "lb2d", JX: 1, JY: 1, Side: 4, Steps: 1},           // ID with path separator
+		{ID: "..", Method: "lb2d", JX: 1, JY: 1, Side: 4, Steps: 1},            // ID escaping the ckpt dir
 	}
 	for i, sp := range bad {
 		if err := s.Submit(sp, nil); err == nil {

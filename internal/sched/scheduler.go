@@ -48,20 +48,44 @@ type Scheduler struct {
 	Scenario      func(t time.Duration, c *cluster.Cluster)
 	ScenarioEvery time.Duration
 
+	// CheckpointEvery, when positive, makes the event loop persist the
+	// whole farm into CheckpointDir at every multiple of it in virtual
+	// time (while the farm has work), so a crashed coordinator loses at
+	// most one interval. CheckpointGap paces the per-rank dump writes
+	// (the section-5.2 inter-save gap); zero writes back to back.
+	// Restore does not re-arm these — re-set them (like Scenario) before
+	// resuming a restored farm.
+	CheckpointEvery time.Duration
+	CheckpointDir   string
+	CheckpointGap   time.Duration
+
 	rng      *rand.Rand
+	src      *splitmix // rng's source, persisted by Checkpoint
 	queue    []*jobState
 	running  []*jobState
 	finished []*jobState
 	reclaims int
 
+	// start anchors the farm-relative clock: Run sets it to the cluster
+	// time it was entered at, unless Restore pre-set it to the original
+	// run's anchor so a restored farm continues on the same clock.
+	start    time.Duration
+	restored bool
+	// ckptSeq numbers the save generations inside CheckpointDir; each
+	// Checkpoint writes into a fresh states-<seq> directory so a crash
+	// mid-save never damages the last committed checkpoint.
+	ckptSeq int
+
 	// mu guards the fields shared with Submit/Close callers on other
 	// goroutines; everything else is owned by the Run loop.
-	mu      sync.Mutex
-	pending []*jobState // submitted, not yet admitted to the queue
-	ids     map[string]bool
-	closed  bool
-	looping bool
-	wake    chan struct{}
+	mu          sync.Mutex
+	pending     []*jobState // submitted, not yet admitted to the queue
+	ids         map[string]bool
+	closed      bool
+	looping     bool
+	interrupted bool
+	runFailed   bool // last Run exited with an error, reservations still held
+	wake        chan struct{}
 
 	// servedByUser accumulates virtual service time per tenant, the
 	// WeightedFair bookkeeping.
@@ -119,6 +143,7 @@ func (s *Scheduler) creditService(j *jobState, d time.Duration) {
 // migration policies, the compute-only step timer, EASY backfill, and a
 // seeded RNG for the randomized placement scan.
 func New(c *cluster.Cluster, policy Policy, seed int64) *Scheduler {
+	src := newSplitmix(seed)
 	return &Scheduler{
 		Cluster:      c,
 		Policy:       policy,
@@ -126,7 +151,8 @@ func New(c *cluster.Cluster, policy Policy, seed int64) *Scheduler {
 		Migration:    cluster.DefaultMigrationPolicy(),
 		Timer:        ComputeTimer,
 		Backfill:     BackfillEASY,
-		rng:          rand.New(rand.NewSource(seed)),
+		rng:          rand.New(src),
+		src:          src,
 		ids:          make(map[string]bool),
 		wake:         make(chan struct{}, 1),
 		servedByUser: make(map[string]time.Duration),
@@ -170,9 +196,25 @@ func (s *Scheduler) Submit(spec JobSpec, w Workload) error {
 // Close marks the farm closed to new submissions: Run finishes every job
 // already accepted and returns. Safe from any goroutine; Submit after
 // Close fails.
+//
+// After a Run that returned early — a workload failure, a stall, or an
+// Interrupt — Close also hands back the reservations the placed jobs
+// still hold, so the pool is reusable. It is idempotent: a second Close
+// releases nothing twice and never panics. The release happens under the
+// scheduler lock and only once a Run has actually exited with an error
+// (never while the loop is live), so Close stays safe from any
+// goroutine.
 func (s *Scheduler) Close() {
 	s.mu.Lock()
 	s.closed = true
+	if s.runFailed && !s.looping {
+		for _, js := range s.running {
+			if js.res != nil {
+				js.res.Release()
+				js.res = nil
+			}
+		}
+	}
 	s.mu.Unlock()
 	s.wakeup()
 }
@@ -194,6 +236,16 @@ func (s *Scheduler) isClosed() bool {
 	return s.closed
 }
 
+// isInterrupted reports whether Interrupt was called.
+func (s *Scheduler) isInterrupted() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.interrupted
+}
+
+// now returns the farm-relative virtual time.
+func (s *Scheduler) now() time.Duration { return s.Cluster.Now() - s.start }
+
 // drained reports whether the farm holds no work at all.
 func (s *Scheduler) drained() bool {
 	if len(s.queue) > 0 || len(s.running) > 0 {
@@ -211,19 +263,35 @@ func (s *Scheduler) drained() bool {
 // Close it returns the metrics summary once everything accepted has
 // finished. All reported times are relative to the cluster clock at the
 // call.
-func (s *Scheduler) Run() (metrics.Summary, error) {
-	start := s.Cluster.Now()
-	now := func() time.Duration { return s.Cluster.Now() - start }
+func (s *Scheduler) Run() (sum metrics.Summary, err error) {
+	if s.CheckpointEvery > 0 && s.CheckpointDir == "" {
+		return metrics.Summary{}, fmt.Errorf("sched: CheckpointEvery set without a CheckpointDir")
+	}
 	s.mu.Lock()
+	if s.restored {
+		// A restored farm continues on the interrupted run's clock.
+		s.restored = false
+	} else {
+		s.start = s.Cluster.Now()
+	}
 	s.looping = true
+	s.runFailed = false
 	s.mu.Unlock()
+	now := s.now
 	defer func() {
+		// Flag an early exit in the same critical section that retires
+		// the loop, so a concurrent Close never observes the loop gone
+		// without also seeing whether reservations need handing back.
 		s.mu.Lock()
 		s.looping = false
+		s.runFailed = err != nil
 		s.mu.Unlock()
 	}()
 	stallSince := time.Duration(-1)
 	for {
+		if s.isInterrupted() {
+			return metrics.Summary{}, ErrInterrupted
+		}
 		t := now()
 		s.admit(t)
 		if err := s.handleReclaims(t); err != nil {
@@ -259,13 +327,19 @@ func (s *Scheduler) Run() (metrics.Summary, error) {
 		} else {
 			stallSince = -1
 		}
-		// Scenario ticks cap the advance so scripted user activity lands
-		// at exact virtual times.
-		tick := time.Duration(-1)
+		// Scenario and auto-checkpoint ticks cap the advance so scripted
+		// user activity and periodic saves land at exact virtual times.
+		tick, save := time.Duration(-1), time.Duration(-1)
 		if s.Scenario != nil && s.ScenarioEvery > 0 {
 			tick = t - t%s.ScenarioEvery + s.ScenarioEvery
 			if tick < next {
 				next = tick
+			}
+		}
+		if s.CheckpointEvery > 0 {
+			save = t - t%s.CheckpointEvery + s.CheckpointEvery
+			if save < next {
+				next = save
 			}
 		}
 		if dt := next - t; dt > 0 {
@@ -274,6 +348,14 @@ func (s *Scheduler) Run() (metrics.Summary, error) {
 		t = now()
 		if tick >= 0 && t == tick {
 			s.Scenario(t, s.Cluster)
+			if s.isInterrupted() {
+				return metrics.Summary{}, ErrInterrupted
+			}
+		}
+		if save >= 0 && t == save {
+			if err := s.Checkpoint(s.CheckpointDir); err != nil {
+				return metrics.Summary{}, fmt.Errorf("sched: auto-checkpoint at %v: %w", t, err)
+			}
 		}
 		if err := s.complete(t); err != nil {
 			return metrics.Summary{}, err

@@ -15,6 +15,13 @@ import (
 // of the job's ranks move to new hosts mid-run because regular users
 // reclaimed theirs, and Finish once the job's virtual runtime has
 // elapsed.
+//
+// Checkpoint and Restore are the farm-level durability hooks: Checkpoint
+// returns the per-rank dump states the coordinator persists to disk —
+// without giving up the placement, so a running job keeps running — and
+// Restore hands a freshly rebuilt workload the states loaded back from
+// disk, to be consumed by the next Resume. Stateless workloads return
+// nil states and ignore Restore.
 type Workload interface {
 	Start(hosts []*cluster.Host) error
 	Suspend() error
@@ -23,6 +30,13 @@ type Workload interface {
 	// its placement.
 	Migrate(ranks []int, hosts []*cluster.Host) error
 	Finish() error
+	// Checkpoint returns the workload's current per-rank states (ordered
+	// by rank) for persistence. A suspended workload returns the states
+	// it already holds; a running one snapshots without stopping.
+	Checkpoint() ([]*dump.State, error)
+	// Restore hands back states loaded from a persisted checkpoint; the
+	// next Resume (or the pending placement) continues from them.
+	Restore(states []*dump.State) error
 }
 
 // NullWorkload replays scheduling decisions only — no simulation runs.
@@ -35,6 +49,8 @@ func (NullWorkload) Suspend() error                       { return nil }
 func (NullWorkload) Resume([]*cluster.Host) error         { return nil }
 func (NullWorkload) Migrate([]int, []*cluster.Host) error { return nil }
 func (NullWorkload) Finish() error                        { return nil }
+func (NullWorkload) Checkpoint() ([]*dump.State, error)   { return nil, nil }
+func (NullWorkload) Restore([]*dump.State) error          { return nil }
 
 // CoreWorkload drives a real core.Job under the scheduler: Start launches
 // the workers, Suspend checkpoints every rank through the section-5.1
@@ -106,6 +122,38 @@ func (c *CoreWorkload) Migrate(ranks []int, hosts []*cluster.Host) error {
 		}
 	}
 	return c.Job.MigrateRanks(ranks, nil)
+}
+
+// Checkpoint returns the job's per-rank dump states for persistence. A
+// suspended job hands over the checkpoint it already holds; a running job
+// snapshots through core.Job.Snapshot — the full suspend protocol
+// followed by an immediate resume on the same hosts, so the job never
+// leaves its machines and the results stay bit-identical.
+func (c *CoreWorkload) Checkpoint() ([]*dump.State, error) {
+	if c.Job == nil {
+		return nil, fmt.Errorf("sched: CoreWorkload without a Job")
+	}
+	if c.states != nil {
+		return c.states, nil
+	}
+	return c.Job.Snapshot()
+}
+
+// Restore hands the workload states loaded from a persisted checkpoint.
+// The workload must be freshly built (no checkpoint of its own yet); the
+// next Resume rebuilds every rank from these states.
+func (c *CoreWorkload) Restore(states []*dump.State) error {
+	if c.Job == nil {
+		return fmt.Errorf("sched: CoreWorkload without a Job")
+	}
+	if len(states) != c.Job.P() {
+		return fmt.Errorf("sched: restoring %d states into a %d-rank job", len(states), c.Job.P())
+	}
+	if c.states != nil {
+		return fmt.Errorf("sched: restore over an existing %d-rank checkpoint", len(c.states))
+	}
+	c.states = states
+	return nil
 }
 
 // Finish waits for every rank to complete and shuts the job down.
