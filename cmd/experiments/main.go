@@ -19,8 +19,9 @@
 // back: same-round migration off reclaimed hosts, repricing, EASY vs
 // aggressive backfill), crash (coordinator crash recovery: checkpoint
 // the farm mid-storm, kill it, restore from disk and finish
-// bit-identically). `-list` prints the available names sorted, one per
-// line.
+// bit-identically), hetero (uniform vs speed-weighted decomposition on
+// mixed-model placements; exits non-zero on an imbalance regression).
+// `-list` prints the available names sorted, one per line.
 package main
 
 import (
@@ -65,11 +66,12 @@ func main() {
 		"farm":        farm,
 		"reclaim":     reclaimStorm,
 		"crash":       crashRecovery,
+		"hetero":      hetero,
 	}
 	order := []string{
 		"speed-table", "mtable", "fig5", "fig6", "fig7", "fig8", "fig9",
 		"fig10", "fig11", "fig12", "fig13", "ablation", "migration", "convergence",
-		"networks", "balancing", "farm", "reclaim", "crash",
+		"networks", "balancing", "farm", "reclaim", "crash", "hetero",
 	}
 	if *list {
 		names := make([]string, 0, len(all))

@@ -30,6 +30,7 @@ import (
 	"time"
 
 	"repro/internal/cluster"
+	"repro/internal/decomp"
 	"repro/internal/dump"
 )
 
@@ -90,6 +91,18 @@ type JobRecord struct {
 
 	Hosts      []string `json:",omitempty"`
 	StateSteps []int    `json:",omitempty"`
+
+	// SpansX/Y/Z record the job's decomposition shape when it differs
+	// from the uniform split: the per-axis interior node counts the
+	// speed-weighted splitter assigned at first placement. Restore must
+	// rebuild exactly these spans or the rank dumps no longer fit their
+	// subregions. Absent spans mean the uniform decomposition.
+	SpansX []int `json:",omitempty"`
+	SpansY []int `json:",omitempty"`
+	SpansZ []int `json:",omitempty"`
+	// Imbalance is the job's load-imbalance ratio at its last pricing
+	// (1.0 is perfect balance; zero if the job never ran).
+	Imbalance float64 `json:",omitempty"`
 }
 
 // Ranks returns the number of hosts the recorded job needs.
@@ -99,6 +112,30 @@ func (r JobRecord) Ranks() int {
 		jz = 1
 	}
 	return r.JX * r.JY * jz
+}
+
+// Shape returns the recorded decomposition shape (zero when the job
+// used the uniform split).
+func (r JobRecord) Shape() decomp.Shape {
+	return decomp.Shape{X: r.SpansX, Y: r.SpansY, Z: r.SpansZ}
+}
+
+// checkShape validates the recorded spans against the job's lattice and
+// grid, so a torn or hand-edited manifest can never rebuild a job whose
+// subregions disagree with its rank dumps.
+func (r JobRecord) checkShape() error {
+	sh := r.Shape()
+	if sh.IsZero() {
+		return nil
+	}
+	jz, gz := r.JZ, r.Side*r.JZ
+	if jz < 1 {
+		jz, gz = 0, 0
+	}
+	if err := sh.Check(r.JX, r.JY, jz, r.Side*r.JX, r.Side*r.JY, gz); err != nil {
+		return fmt.Errorf("ckpt: job %s: %w", r.ID, err)
+	}
+	return nil
 }
 
 // Manifest is one complete farm checkpoint. All job times are
@@ -120,7 +157,10 @@ type Manifest struct {
 	RNG    uint64
 	Closed bool
 
-	Reclaims     int
+	Reclaims int
+	// EASYDegraded counts the scheduling rounds whose EASY backfill
+	// shadow was incomputable (explicit fallback to aggressive mode).
+	EASYDegraded int                      `json:",omitempty"`
 	ServedByUser map[string]time.Duration `json:",omitempty"`
 
 	// StatesDir names the generation directory (states-<seq>) holding
@@ -179,6 +219,9 @@ func (m *Manifest) Validate() error {
 		}
 		if len(jr.StateSteps) > 0 && m.StatesDir == "" {
 			return fmt.Errorf("ckpt: job %s records rank states but the manifest names no states directory", jr.ID)
+		}
+		if err := jr.checkShape(); err != nil {
+			return err
 		}
 	}
 	if m.StatesDir != "" {

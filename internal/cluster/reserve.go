@@ -15,6 +15,18 @@ type Reservation struct {
 	Hosts []*Host
 }
 
+// ReservableWhenFree reports whether the host would satisfy the farm's
+// reservation criteria once its parallel subprocess (if any) is
+// released: the regular user is absent per the Reclaim event protocol
+// and the user-attributable load sits below the selection threshold. It
+// is the per-host predicate behind reservable(), and schedulers share it
+// wherever they must predict a held host's future availability — the
+// EASY shadow walk and the preemption capacity count — so those
+// estimates can never diverge from what Reserve will actually grant.
+func (h *Host) ReservableWhenFree(pol SelectionPolicy) bool {
+	return !h.reclaimed && h.UserLoad15() < pol.MaxLoad15
+}
+
 // reservable returns the hosts a farm scheduler may claim, split into the
 // preferred idle-user group and the active-user group of section 4.1.
 //
@@ -28,17 +40,17 @@ type Reservation struct {
 // user's load shows up in the averages — otherwise the farm would claim
 // back the very machine it just vacated.
 func (c *Cluster) reservable(pol SelectionPolicy) (idle, active []*Host) {
-	rawIdle, rawActive := c.classify(pol, (*Host).UserLoad15)
-	keep := func(hosts []*Host) []*Host {
-		out := hosts[:0]
-		for _, h := range hosts {
-			if !h.reclaimed {
-				out = append(out, h)
-			}
+	for _, h := range c.Hosts {
+		if h.assigned >= 0 || !h.ReservableWhenFree(pol) {
+			continue
 		}
-		return out
+		if h.idleFor >= pol.MinIdle {
+			idle = append(idle, h)
+		} else {
+			active = append(active, h)
+		}
 	}
-	return keep(rawIdle), keep(rawActive)
+	return idle, active
 }
 
 // Capacity returns how many hosts a Reserve call could claim right now.

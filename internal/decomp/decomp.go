@@ -1,7 +1,11 @@
 // Package decomp implements the static rectangular domain decompositions of
 // the paper: a global uniform grid is split into a (J x K) array of
-// identical-shaped subregions in 2D, or (J x K x L) in 3D, and each active
-// subregion is assigned to one parallel subprocess (sections 2-3).
+// subregions in 2D, or (J x K x L) in 3D, and each active subregion is
+// assigned to one parallel subprocess (sections 2-3). Subregions are
+// identical-shaped under the uniform splitters (New2D/New3D); the
+// speed-weighted splitters of weighted.go size spans proportionally to
+// per-rank host speed for heterogeneous pools, with uniform splitting as
+// the degenerate equal-weights case.
 //
 // The package also computes the decomposition-geometry constant m of
 // section 8 (the surface factor in N_c = m N^{1/2} or m N^{2/3}), the
@@ -147,21 +151,7 @@ func New2D(jx, jy, gx, gy int, st Stencil) (*Decomp2D, error) {
 	if gx < jx || gy < jy {
 		return nil, fmt.Errorf("decomp: grid %dx%d smaller than decomposition (%d x %d)", gx, gy, jx, jy)
 	}
-	d := &Decomp2D{JX: jx, JY: jy, GX: gx, GY: gy, Stencil: st}
-	d.subs = make([]Subregion2D, jx*jy)
-	for j := 0; j < jy; j++ {
-		for i := 0; i < jx; i++ {
-			x0, nx := span(gx, jx, i)
-			y0, ny := span(gy, jy, j)
-			d.subs[j*jx+i] = Subregion2D{
-				Rank: j*jx + i, I: i, J: j,
-				X0: x0, Y0: y0, NX: nx, NY: ny,
-				Active: true,
-			}
-		}
-	}
-	d.active = jx * jy
-	return d, nil
+	return New2DShaped(UniformShape2D(jx, jy, gx, gy), st)
 }
 
 // span splits g nodes into p pieces; piece i gets its offset and length.

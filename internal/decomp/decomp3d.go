@@ -102,27 +102,7 @@ func New3D(jx, jy, jz, gx, gy, gz int) (*Decomp3D, error) {
 	if gx < jx || gy < jy || gz < jz {
 		return nil, fmt.Errorf("decomp: grid %dx%dx%d smaller than (%d x %d x %d)", gx, gy, gz, jx, jy, jz)
 	}
-	d := &Decomp3D{JX: jx, JY: jy, JZ: jz, GX: gx, GY: gy, GZ: gz}
-	d.subs = make([]Subregion3D, jx*jy*jz)
-	r := 0
-	for k := 0; k < jz; k++ {
-		for j := 0; j < jy; j++ {
-			for i := 0; i < jx; i++ {
-				x0, nx := span(gx, jx, i)
-				y0, ny := span(gy, jy, j)
-				z0, nz := span(gz, jz, k)
-				d.subs[(k*jy+j)*jx+i] = Subregion3D{
-					Rank: r, I: i, J: j, K: k,
-					X0: x0, Y0: y0, Z0: z0,
-					NX: nx, NY: ny, NZ: nz,
-					Active: true,
-				}
-				r++
-			}
-		}
-	}
-	d.active = r
-	return d, nil
+	return New3DShaped(UniformShape3D(jx, jy, jz, gx, gy, gz))
 }
 
 // P returns the number of active subregions.

@@ -70,6 +70,7 @@ func (s *Scheduler) Checkpoint(dir string) error {
 		RNG:          s.src.State(),
 		Closed:       s.isClosed(),
 		Reclaims:     s.reclaims,
+		EASYDegraded: s.easyDegraded,
 		ServedByUser: make(map[string]time.Duration, len(s.servedByUser)),
 		StatesDir:    gen,
 		Cluster:      s.Cluster.Snapshot(),
@@ -181,6 +182,7 @@ func Restore(dir string, c *cluster.Cluster, reg WorkloadRegistry) (*Scheduler, 
 	s.restored = true
 	s.closed = m.Closed
 	s.reclaims = m.Reclaims
+	s.easyDegraded = m.EASYDegraded
 	if m.StatesDir != "" {
 		// Continue the save-generation numbering past the restored-from
 		// checkpoint, so this farm's own saves never collide with it.
@@ -266,6 +268,8 @@ func restoreJob(dir, statesDir string, jr ckpt.JobRecord, c *cluster.Cluster, re
 		stepSec:    jr.StepSec,
 		placedAt:   jr.PlacedAt,
 		finishAt:   jr.FinishAt,
+		shape:      jr.Shape(),
+		imbalance:  jr.Imbalance,
 		started:    jr.Started,
 		live:       jr.Live,
 		firstStart: jr.FirstStart,
@@ -315,6 +319,10 @@ func recordJob(js *jobState, phase string) ckpt.JobRecord {
 		StepSec:    js.stepSec,
 		PlacedAt:   js.placedAt,
 		FinishAt:   js.finishAt,
+		SpansX:     js.shape.X,
+		SpansY:     js.shape.Y,
+		SpansZ:     js.shape.Z,
+		Imbalance:  js.imbalance,
 		Started:    js.started,
 		Live:       js.live,
 		FirstStart: js.firstStart,

@@ -31,6 +31,15 @@ type Job struct {
 	// Repricings counts the step-time re-estimates those moves caused.
 	Migrations int
 	Repricings int
+
+	// Weighted reports whether the job ran a speed-weighted decomposition
+	// (spans sized by host speed) rather than the uniform split.
+	Weighted bool
+	// Imbalance is the job's load-imbalance ratio at its last pricing:
+	// the slowest rank's compute time over the perfectly balanced ideal.
+	// 1.0 is perfect balance; a uniform split on a mixed-model pool sits
+	// strictly above it. Zero for jobs that never ran.
+	Imbalance float64
 }
 
 // Wait is the queue wait: submission to first placement.
@@ -56,6 +65,18 @@ type Summary struct {
 	Migrations int
 	Repricings int
 	Reclaims   int
+
+	// MeanImbalance and MaxImbalance aggregate the per-job load-imbalance
+	// ratios over the jobs that ran (1.0 is perfect balance); Weighted
+	// counts the jobs placed with a speed-weighted decomposition.
+	MeanImbalance float64
+	MaxImbalance  float64
+	Weighted      int
+
+	// EASYDegraded counts the scheduling rounds whose EASY shadow was
+	// incomputable, so backfill explicitly fell back to aggressive mode
+	// (set by the scheduler, not derivable from jobs).
+	EASYDegraded int
 }
 
 // Summarize computes the aggregate figures for a set of completed jobs on
@@ -74,6 +95,7 @@ func Summarize(jobs []Job, hosts int) Summary {
 	minSubmit, maxDone := s.Jobs[0].Submit, time.Duration(0)
 	var totalWait time.Duration
 	busyHostSec := 0.0
+	imbSum, imbJobs := 0.0, 0
 	for _, j := range s.Jobs {
 		if j.Submit < minSubmit {
 			minSubmit = j.Submit
@@ -93,9 +115,22 @@ func Summarize(jobs []Job, hosts int) Summary {
 		}
 		s.Migrations += j.Migrations
 		s.Repricings += j.Repricings
+		if j.Weighted {
+			s.Weighted++
+		}
+		if j.Imbalance > 0 {
+			imbSum += j.Imbalance
+			imbJobs++
+			if j.Imbalance > s.MaxImbalance {
+				s.MaxImbalance = j.Imbalance
+			}
+		}
 	}
 	s.Makespan = maxDone - minSubmit
 	s.MeanWait = totalWait / time.Duration(len(s.Jobs))
+	if imbJobs > 0 {
+		s.MeanImbalance = imbSum / float64(imbJobs)
+	}
 	if hosts > 0 && s.Makespan > 0 {
 		s.Utilization = busyHostSec / (float64(hosts) * s.Makespan.Seconds())
 	}
@@ -106,22 +141,27 @@ func Summarize(jobs []Job, hosts int) Summary {
 // plus the aggregate footer.
 func (s Summary) String() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "%-12s %5s %4s %12s %12s %12s %8s %5s %5s\n",
-		"job", "ranks", "prio", "submit", "wait", "done", "preempt", "bfill", "migr")
+	fmt.Fprintf(&b, "%-12s %5s %4s %12s %12s %12s %8s %5s %5s %5s %7s\n",
+		"job", "ranks", "prio", "submit", "wait", "done", "preempt", "bfill", "migr", "wtd", "imbal")
 	for _, j := range s.Jobs {
-		bf := ""
+		bf, wt := "", ""
 		if j.Backfilled {
 			bf = "yes"
 		}
-		fmt.Fprintf(&b, "%-12s %5d %4d %12s %12s %12s %8d %5s %5d\n",
+		if j.Weighted {
+			wt = "yes"
+		}
+		fmt.Fprintf(&b, "%-12s %5d %4d %12s %12s %12s %8d %5s %5d %5s %7.3f\n",
 			j.ID, j.Ranks, j.Priority,
-			fmtDur(j.Submit), fmtDur(j.Wait()), fmtDur(j.Done), j.Preemptions, bf, j.Migrations)
+			fmtDur(j.Submit), fmtDur(j.Wait()), fmtDur(j.Done), j.Preemptions, bf, j.Migrations,
+			wt, j.Imbalance)
 	}
 	fmt.Fprintf(&b, "makespan %s  mean wait %s  max wait %s  utilization %.3f  preemptions %d  backfills %d\n",
 		fmtDur(s.Makespan), fmtDur(s.MeanWait), fmtDur(s.MaxWait),
 		s.Utilization, s.Preemptions, s.Backfills)
-	fmt.Fprintf(&b, "reclaims %d  migrations %d  repricings %d\n",
-		s.Reclaims, s.Migrations, s.Repricings)
+	fmt.Fprintf(&b, "reclaims %d  migrations %d  repricings %d  weighted %d  imbalance mean %.3f max %.3f  easy-degraded %d\n",
+		s.Reclaims, s.Migrations, s.Repricings,
+		s.Weighted, s.MeanImbalance, s.MaxImbalance, s.EASYDegraded)
 	return b.String()
 }
 

@@ -9,11 +9,11 @@ import (
 func TestSummarize(t *testing.T) {
 	jobs := []Job{
 		{ID: "b", Ranks: 10, Submit: 0, FirstStart: 0, Done: 100 * time.Second,
-			Served: 100 * time.Second},
+			Served: 100 * time.Second, Weighted: true, Imbalance: 1.05},
 		{ID: "a", Ranks: 5, Submit: 0, FirstStart: 40 * time.Second, Done: 140 * time.Second,
-			Served: 100 * time.Second, Preemptions: 2},
+			Served: 100 * time.Second, Preemptions: 2, Imbalance: 1.19},
 		{ID: "c", Ranks: 1, Submit: 20 * time.Second, FirstStart: 60 * time.Second,
-			Done: 200 * time.Second, Served: 140 * time.Second, Backfilled: true},
+			Done: 200 * time.Second, Served: 140 * time.Second, Backfilled: true, Imbalance: 1.0},
 	}
 	s := Summarize(jobs, 20)
 
@@ -36,6 +36,15 @@ func TestSummarize(t *testing.T) {
 	}
 	if s.Preemptions != 2 || s.Backfills != 1 {
 		t.Errorf("preemptions %d backfills %d, want 2 and 1", s.Preemptions, s.Backfills)
+	}
+	if s.Weighted != 1 {
+		t.Errorf("weighted jobs = %d, want 1", s.Weighted)
+	}
+	if s.MaxImbalance != 1.19 {
+		t.Errorf("max imbalance = %v, want 1.19", s.MaxImbalance)
+	}
+	if want := (1.05 + 1.19 + 1.0) / 3; s.MeanImbalance != want {
+		t.Errorf("mean imbalance = %v, want %v", s.MeanImbalance, want)
 	}
 }
 

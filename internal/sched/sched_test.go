@@ -300,11 +300,11 @@ func TestPreemptSkipsUserBusyVictims(t *testing.T) {
 func TestPerfTimerAddsCommunication(t *testing.T) {
 	spec := JobSpec{ID: "x", Method: "lb2d", JX: 4, JY: 4, Side: 40, Steps: 1}
 	hosts := perf.PaperHosts(spec.Ranks())
-	compute, err := ComputeTimer(spec, hosts)
+	compute, err := ComputeTimer(spec, decomp.Shape{}, hosts)
 	if err != nil {
 		t.Fatal(err)
 	}
-	withNet, err := PerfTimer(perf.Ethernet)(spec, hosts)
+	withNet, err := PerfTimer(perf.Ethernet)(spec, decomp.Shape{}, hosts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -316,7 +316,7 @@ func TestPerfTimerAddsCommunication(t *testing.T) {
 	}
 	// 3D too, exercising the Build3D path.
 	spec3 := JobSpec{ID: "y", Method: "lb3d", JX: 2, JY: 2, JZ: 2, Side: 16, Steps: 1}
-	if _, err := PerfTimer(perf.Ethernet)(spec3, perf.PaperHosts(spec3.Ranks())); err != nil {
+	if _, err := PerfTimer(perf.Ethernet)(spec3, decomp.Shape{}, perf.PaperHosts(spec3.Ranks())); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -386,14 +386,15 @@ func TestSpecWorkload(t *testing.T) {
 	}
 }
 
-// TestComputeTimerHeterogeneous: the step runs at the slowest rank's pace.
+// TestComputeTimerHeterogeneous: under the uniform (zero) shape the step
+// runs at the slowest rank's pace.
 func TestComputeTimerHeterogeneous(t *testing.T) {
 	spec := JobSpec{ID: "a", Method: "lb2d", JX: 2, JY: 1, Side: 10, Steps: 1}
 	hosts := []*cluster.Host{
 		cluster.NewHost("fast", cluster.HP715),
 		cluster.NewHost("slow", cluster.HP710),
 	}
-	sec, err := ComputeTimer(spec, hosts)
+	sec, err := ComputeTimer(spec, decomp.Shape{}, hosts)
 	if err != nil {
 		t.Fatal(err)
 	}

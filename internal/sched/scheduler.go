@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/cluster"
+	"repro/internal/decomp"
 	"repro/internal/sched/metrics"
 )
 
@@ -39,6 +40,10 @@ type Scheduler struct {
 	// that reservation (the pre-EASY behaviour); BackfillNone enforces
 	// strict head-of-line order.
 	Backfill BackfillMode
+	// Logf, when set, receives the scheduler's debug log lines (EASY
+	// degrading to aggressive backfill when the head's projected start is
+	// incomputable, and the like). Nil is silent.
+	Logf func(format string, args ...any)
 
 	// Scenario, when set, is invoked on the scheduling goroutine at
 	// every multiple of ScenarioEvery of virtual time while the farm has
@@ -65,6 +70,9 @@ type Scheduler struct {
 	running  []*jobState
 	finished []*jobState
 	reclaims int
+	// easyDegraded counts the scheduling rounds whose EASY shadow was
+	// incomputable, so backfill explicitly fell back to aggressive.
+	easyDegraded int
 
 	// start anchors the farm-relative clock: Run sets it to the cluster
 	// time it was entered at, unless Restore pre-set it to the original
@@ -102,6 +110,15 @@ type jobState struct {
 	res       *cluster.Reservation
 	placedAt  time.Duration
 	finishAt  time.Duration
+
+	// shape is the job's per-axis span assignment, fixed at the first
+	// placement (speed-weighted when that strictly beats uniform on the
+	// mixed pool) and preserved across suspensions and migrations — the
+	// rank dumps only fit one geometry. Zero means uniform.
+	shape decomp.Shape
+	// imbalance is the placement's load-imbalance ratio (slowest rank
+	// over perfectly balanced; 1.0 is ideal), refreshed at every pricing.
+	imbalance float64
 
 	started    bool
 	live       bool // submitted while the farm was running
@@ -438,10 +455,17 @@ func (s *Scheduler) migrateOff(js *jobState, busy []*cluster.Host, t time.Durati
 	if err := js.work.Migrate(ranks, repl); err != nil {
 		return fmt.Errorf("sched: migrating %s: %w", js.spec.ID, err)
 	}
-	sec, err := s.Timer(js.spec, js.res.Hosts)
+	// The weighted shape was fixed when the job first dumped; reprice the
+	// same geometry on the patched placement.
+	sec, err := s.Timer(js.spec, js.shape, js.res.Hosts)
 	if err != nil {
 		return err
 	}
+	imb, err := Imbalance(js.spec, js.shape, js.res.Hosts)
+	if err != nil {
+		return err
+	}
+	js.imbalance = imb
 	js.stepSec = sec
 	js.placedAt = t
 	js.finishAt = t + time.Duration(js.remaining*sec*float64(time.Second))
@@ -475,6 +499,7 @@ func (s *Scheduler) less(a, b *jobState) bool {
 // BackfillEASY a candidate behind the blocked head must finish before the
 // head's projected start (its virtual-finish-time reservation).
 func (s *Scheduler) scheduleRound(t time.Duration) error {
+	degradeCounted := false
 	for {
 		sort.SliceStable(s.queue, func(i, j int) bool { return s.less(s.queue[i], s.queue[j]) })
 		placed := -1
@@ -485,6 +510,19 @@ func (s *Scheduler) scheduleRound(t time.Duration) error {
 				if !shadowSet {
 					shadow = s.projectedStart(s.queue[0])
 					shadowSet = true
+					if shadow < 0 && !degradeCounted {
+						// No reservation is computable for the head:
+						// completions alone never free enough usable hosts.
+						// Fall back to aggressive backfill for this round —
+						// explicitly, so operators can see the head's
+						// protection lapse instead of it eroding silently.
+						// (The shadow is re-derived after every placement;
+						// the round degrades once, however many passes run.)
+						degradeCounted = true
+						s.easyDegraded++
+						s.logf("sched: EASY shadow incomputable for head %s (%d ranks); degrading to aggressive backfill this round",
+							s.queue[0].spec.ID, s.queue[0].spec.Ranks())
+					}
 				}
 				deadline = shadow
 			}
@@ -523,10 +561,18 @@ func (s *Scheduler) scheduleRound(t time.Duration) error {
 // projectedStart estimates when the blocked queue head could start: the
 // earliest virtual time at which enough hosts are reservable, assuming
 // every running job returns its hosts at its virtual finish time and
-// host conditions stay as they are. It returns -1 when running-job
-// completions alone never free enough hosts (the head waits on user
-// activity instead) — no reservation is computable then, and EASY
-// backfill degrades to the aggressive mode until conditions change.
+// host conditions stay as they are. The shadow walk counts each
+// finishing job's hosts individually — a host whose regular user has
+// reclaimed it mid-run, or whose user load sits above the selection
+// threshold, does not come back reservable when the job releases it, so
+// it must not inflate the head's reservation. (Counting whole rank
+// counts, as this walk once did, made the estimate optimistic under
+// reclaim storms and silently eroded the head's protection.) It returns
+// -1 when running-job completions alone never free enough hosts (the
+// head waits on user activity instead) — no reservation is computable
+// then, and EASY backfill explicitly degrades to the aggressive mode
+// for the round (counted and logged by scheduleRound) until conditions
+// change.
 func (s *Scheduler) projectedStart(head *jobState) time.Duration {
 	free := s.Cluster.Capacity(s.Select)
 	need := head.spec.Ranks()
@@ -536,7 +582,11 @@ func (s *Scheduler) projectedStart(head *jobState) time.Duration {
 		if free >= need {
 			break
 		}
-		free += r.spec.Ranks()
+		for _, h := range r.res.Hosts {
+			if h != nil && h.ReservableWhenFree(s.Select) {
+				free++
+			}
+		}
 		if free >= need {
 			return r.finishAt
 		}
@@ -544,16 +594,57 @@ func (s *Scheduler) projectedStart(head *jobState) time.Duration {
 	return -1
 }
 
+// logf emits a debug line through the scheduler's Logf hook, if any.
+func (s *Scheduler) logf(format string, args ...any) {
+	if s.Logf != nil {
+		s.Logf(format, args...)
+	}
+}
+
+// chooseShape picks a fresh placement's decomposition shape: the
+// speed-weighted shape when it strictly beats the uniform one under the
+// scheduler's own step pricing, the zero shape (= uniform splitting)
+// otherwise. Comparing with s.Timer — not a fixed compute bound —
+// matters under PerfTimer, where a weighted shape's longer boundary
+// spans can cost more in halo exchange than its balanced compute saves;
+// the comparison guarantees weighting never prices a placement worse
+// than the identical-spans split would have, whichever timer the farm
+// runs. Equal speeds produce a weighted shape bit-identical to the
+// uniform one, so homogeneous pools always fall through to uniform.
+func (s *Scheduler) chooseShape(spec JobSpec, hosts []*cluster.Host) decomp.Shape {
+	uni := UniformShape(spec)
+	w, err := WeightedShape(spec, hosts)
+	if err != nil || w.Equal(uni) {
+		return decomp.Shape{}
+	}
+	wb, errW := s.Timer(spec, w, hosts)
+	ub, errU := s.Timer(spec, uni, hosts)
+	if errW != nil || errU != nil || wb >= ub {
+		return decomp.Shape{}
+	}
+	return w
+}
+
 // tryPlace reserves hosts for the job and starts (or resumes) it. A
 // capacity shortfall returns (false, nil); workload failures are fatal.
 // A non-negative deadline is an EASY backfill window: the placement is
 // abandoned when the job's projected finish would overrun it.
+//
+// A job's decomposition shape is decided here, at its first placement:
+// the speed-weighted shape when it strictly beats uniform splitting on
+// the reserved hosts, uniform otherwise (chooseShape). A job that has
+// started before keeps the shape it dumped with — resumptions and
+// migrations reprice the same geometry on the new hosts.
 func (s *Scheduler) tryPlace(js *jobState, t time.Duration, deadline time.Duration) (bool, error) {
 	res, err := s.Cluster.Reserve(js.spec.ID, js.spec.Ranks(), s.Select, s.rng)
 	if err != nil {
 		return false, nil // capacity shortfall; Reserve shuffles nothing on failure
 	}
-	sec, err := s.Timer(js.spec, res.Hosts)
+	shape := js.shape
+	if !js.started {
+		shape = s.chooseShape(js.spec, res.Hosts)
+	}
+	sec, err := s.Timer(js.spec, shape, res.Hosts)
 	if err != nil {
 		res.Release()
 		return false, err
@@ -563,6 +654,13 @@ func (s *Scheduler) tryPlace(js *jobState, t time.Duration, deadline time.Durati
 		res.Release()
 		return false, nil
 	}
+	imb, err := Imbalance(js.spec, shape, res.Hosts)
+	if err != nil {
+		res.Release()
+		return false, err
+	}
+	js.shape = shape
+	js.imbalance = imb
 	js.res = res
 	js.stepSec = sec
 	js.placedAt = t
@@ -615,7 +713,7 @@ func (s *Scheduler) tryPreempt(js *jobState, t time.Duration) (bool, error) {
 		// it would checkpoint a job without unblocking the head.
 		freed := 0
 		for _, h := range v.res.Hosts {
-			if !h.Reclaimed() && h.UserLoad15() < s.Select.MaxLoad15 {
+			if h.ReservableWhenFree(s.Select) {
 				freed++
 			}
 		}
@@ -720,10 +818,13 @@ func (s *Scheduler) summary() metrics.Summary {
 			Backfilled:  js.backfilled,
 			Migrations:  js.migrations,
 			Repricings:  js.repricings,
+			Weighted:    !js.shape.IsZero(),
+			Imbalance:   js.imbalance,
 		}
 	}
 	sum := metrics.Summarize(jobs, len(s.Cluster.Hosts))
 	sum.Reclaims = s.reclaims
+	sum.EASYDegraded = s.easyDegraded
 	return sum
 }
 

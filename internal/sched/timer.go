@@ -10,45 +10,153 @@ import (
 )
 
 // StepTimer estimates the wall-clock seconds one integration step of a
-// job takes on a given placement. The scheduler calls it at every
-// (re)placement, so heterogeneous hosts and changed placements after a
-// preemption are priced correctly.
-type StepTimer func(spec JobSpec, hosts []*cluster.Host) (float64, error)
+// job takes on a given placement. The shape is the job's per-axis span
+// assignment — speed-weighted for heterogeneous placements, zero for
+// "uniform" — fixed at the job's first placement and preserved across
+// suspensions and migrations (the rank dumps only fit one geometry).
+// The scheduler calls the timer at every (re)placement and migration, so
+// heterogeneous hosts and changed placements after a preemption are
+// priced correctly against the job's actual per-rank loads.
+type StepTimer func(spec JobSpec, shape decomp.Shape, hosts []*cluster.Host) (float64, error)
 
-// ComputeTimer is the communication-free estimate: the parallel step runs
-// at the pace of the slowest rank's local compute, NodesPerRank divided
-// by the host's speed-table rate.
-func ComputeTimer(spec JobSpec, hosts []*cluster.Host) (float64, error) {
+// shapeOrUniform resolves a zero shape to the spec's uniform shape and
+// validates a non-zero one against the spec's lattice and grid.
+func shapeOrUniform(spec JobSpec, shape decomp.Shape) (decomp.Shape, error) {
+	if shape.IsZero() {
+		return UniformShape(spec), nil
+	}
+	jz, gz := spec.JZ, spec.Side*spec.JZ
+	if !spec.Is3D() {
+		jz, gz = 0, 0
+	}
+	if err := shape.Check(spec.JX, spec.JY, jz, spec.Side*spec.JX, spec.Side*spec.JY, gz); err != nil {
+		return decomp.Shape{}, fmt.Errorf("sched: job %s: %w", spec.ID, err)
+	}
+	return shape, nil
+}
+
+// UniformShape returns the spec's uniform (equal-spans) shape, the
+// degenerate case every job priced before speed weighting used.
+func UniformShape(spec JobSpec) decomp.Shape {
+	if spec.Is3D() {
+		return decomp.UniformShape3D(spec.JX, spec.JY, spec.JZ,
+			spec.Side*spec.JX, spec.Side*spec.JY, spec.Side*spec.JZ)
+	}
+	return decomp.UniformShape2D(spec.JX, spec.JY, spec.Side*spec.JX, spec.Side*spec.JY)
+}
+
+// WeightedShape returns the spec's speed-weighted shape for a placement:
+// hosts[rank] serves rank, and each subregion's spans are sized
+// proportionally to its host's speed (per-axis marginals). Equal speeds
+// reproduce UniformShape bit for bit.
+func WeightedShape(spec JobSpec, hosts []*cluster.Host) (decomp.Shape, error) {
+	if len(hosts) < spec.Ranks() {
+		return decomp.Shape{}, fmt.Errorf("sched: %d hosts for %d ranks of %s", len(hosts), spec.Ranks(), spec.ID)
+	}
+	speed := make([]float64, spec.Ranks())
+	for i := range speed {
+		speed[i] = hosts[i].Speed(spec.Method)
+	}
+	if spec.Is3D() {
+		return decomp.WeightedShape3D(spec.JX, spec.JY, spec.JZ,
+			spec.Side*spec.JX, spec.Side*spec.JY, spec.Side*spec.JZ, speed)
+	}
+	return decomp.WeightedShape2D(spec.JX, spec.JY, spec.Side*spec.JX, spec.Side*spec.JY, speed)
+}
+
+// forEachRank walks the spec's lattice in rank order (row-major, planes
+// outermost) yielding each rank's node count under the shape.
+func forEachRank(spec JobSpec, shape decomp.Shape, f func(rank, nodes int)) {
+	jz := spec.JZ
+	if jz < 1 {
+		jz = 1
+	}
+	rank := 0
+	for k := 0; k < jz; k++ {
+		for j := 0; j < spec.JY; j++ {
+			for i := 0; i < spec.JX; i++ {
+				f(rank, shape.Nodes(i, j, k))
+				rank++
+			}
+		}
+	}
+}
+
+// ComputeTimer is the communication-free estimate: the parallel step
+// runs at the pace of the slowest rank's local compute, each rank's node
+// count under the shape divided by its host's speed-table rate. With a
+// zero (uniform) shape every rank integrates NodesPerRank nodes and the
+// step is priced at the slowest host's pace — the pre-weighting
+// behaviour; a speed-weighted shape balances the per-rank loads so mixed
+// pools stop paying the worst-host penalty.
+func ComputeTimer(spec JobSpec, shape decomp.Shape, hosts []*cluster.Host) (float64, error) {
 	if len(hosts) < spec.Ranks() {
 		return 0, fmt.Errorf("sched: %d hosts for %d ranks of %s", len(hosts), spec.Ranks(), spec.ID)
 	}
-	nodes := float64(spec.NodesPerRank())
+	sh, err := shapeOrUniform(spec, shape)
+	if err != nil {
+		return 0, err
+	}
 	worst := 0.0
-	for i := 0; i < spec.Ranks(); i++ {
-		if t := nodes / hosts[i].Speed(spec.Method); t > worst {
+	forEachRank(spec, sh, func(rank, nodes int) {
+		if t := float64(nodes) / hosts[rank].Speed(spec.Method); t > worst {
 			worst = t
 		}
-	}
+	})
 	return worst, nil
 }
 
+// Imbalance returns the placement's load-imbalance ratio: the slowest
+// rank's compute time over the ideal perfectly balanced time (total
+// nodes spread over the hosts' aggregate speed). 1.0 is perfect balance;
+// a uniform split of a mixed-model pool sits strictly above it. The
+// scheduler records the ratio per job and sched/metrics aggregates it.
+func Imbalance(spec JobSpec, shape decomp.Shape, hosts []*cluster.Host) (float64, error) {
+	if len(hosts) < spec.Ranks() {
+		return 0, fmt.Errorf("sched: %d hosts for %d ranks of %s", len(hosts), spec.Ranks(), spec.ID)
+	}
+	sh, err := shapeOrUniform(spec, shape)
+	if err != nil {
+		return 0, err
+	}
+	worst, total, speed := 0.0, 0, 0.0
+	forEachRank(spec, sh, func(rank, nodes int) {
+		if t := float64(nodes) / hosts[rank].Speed(spec.Method); t > worst {
+			worst = t
+		}
+		total += nodes
+	})
+	for i := 0; i < spec.Ranks(); i++ {
+		speed += hosts[i].Speed(spec.Method)
+	}
+	ideal := float64(total) / speed
+	if ideal <= 0 {
+		return 0, fmt.Errorf("sched: job %s: degenerate placement (no nodes or no speed)", spec.ID)
+	}
+	return worst / ideal, nil
+}
+
 // PerfTimer bridges the scheduler to the performance plane: the returned
-// StepTimer builds the job's decomposition, derives its per-step
-// halo-exchange pattern (message counts and sizes per section 6), and
-// replays it through the perf discrete-event engine over a fresh netFn()
-// network — so a job's virtual runtime includes the communication and
-// pipeline effects the compute-only estimate ignores. Each estimate gets
-// its own network instance; cross-job contention on one shared bus is an
-// open item (see ROADMAP.md).
+// StepTimer builds the job's decomposition (shaped, when the scheduler
+// chose a weighted shape), derives its per-step halo-exchange pattern
+// (message counts and sizes per section 6), and replays it through the
+// perf discrete-event engine over a fresh netFn() network — so a job's
+// virtual runtime includes the communication and pipeline effects the
+// compute-only estimate ignores. Each estimate gets its own network
+// instance; cross-job contention on one shared bus is an open item (see
+// ROADMAP.md).
 func PerfTimer(netFn func() netsim.Network) StepTimer {
-	return func(spec JobSpec, hosts []*cluster.Host) (float64, error) {
+	return func(spec JobSpec, shape decomp.Shape, hosts []*cluster.Host) (float64, error) {
 		if len(hosts) < spec.Ranks() {
 			return 0, fmt.Errorf("sched: %d hosts for %d ranks of %s", len(hosts), spec.Ranks(), spec.ID)
 		}
+		sh, err := shapeOrUniform(spec, shape)
+		if err != nil {
+			return 0, err
+		}
 		var workers []perf.WorkerSpec
 		if spec.Is3D() {
-			d, err := decomp.New3D(spec.JX, spec.JY, spec.JZ,
-				spec.Side*spec.JX, spec.Side*spec.JY, spec.Side*spec.JZ)
+			d, err := decomp.New3DShaped(sh)
 			if err != nil {
 				return 0, err
 			}
@@ -61,8 +169,7 @@ func PerfTimer(netFn func() netsim.Network) StepTimer {
 			if spec.Method == perf.LB2D {
 				stencil = decomp.Full
 			}
-			d, err := decomp.New2D(spec.JX, spec.JY,
-				spec.Side*spec.JX, spec.Side*spec.JY, stencil)
+			d, err := decomp.New2DShaped(sh, stencil)
 			if err != nil {
 				return 0, err
 			}
