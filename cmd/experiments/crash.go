@@ -1,16 +1,17 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"log"
 	"os"
 	"reflect"
 	"time"
 
+	"repro/farm"
 	"repro/internal/ckpt"
 	"repro/internal/cluster"
-	"repro/internal/sched"
-	"repro/internal/sched/metrics"
 )
 
 // crashStorm scripts deterministic user activity from nothing but the
@@ -18,7 +19,7 @@ import (
 // user sits down at the first reserved, un-reclaimed workstation (scan
 // order), and at every ten-minutes-plus-five mark the first returned
 // user packs up again. Because it keeps no state of its own, the exact
-// same function can be re-attached to a scheduler restored from a
+// same function can be re-attached to a farm restored from a
 // checkpoint — the restored cluster snapshot makes it take the same
 // decisions the dead coordinator's copy would have.
 func crashStorm(t time.Duration, c *cluster.Cluster) {
@@ -43,12 +44,12 @@ func crashStorm(t time.Duration, c *cluster.Cluster) {
 // crashRecovery is the coordinator-crash experiment: the reclaim-storm
 // workload runs twice on the same seed — once uninterrupted, once
 // checkpointed to disk twelve minutes in and then killed mid-storm. A
-// fresh scheduler restored from the checkpoint directory finishes the
-// second farm, and the two summaries must match bit for bit: the
-// manifest carries the virtual clock, RNG state, queue order, per-job
-// accounting and full cluster snapshot, so recovery replays the exact
-// future the crash stole. Any mismatch is a fatal error (CI runs this
-// as a smoke test).
+// fresh farm restored from the checkpoint directory finishes the second
+// run, and the two summaries must match bit for bit: the manifest
+// carries the virtual clock, RNG state, queue order, per-job accounting
+// and full cluster snapshot, so recovery replays the exact future the
+// crash stole. Any mismatch is a fatal error (CI runs this as a smoke
+// test).
 func crashRecovery() {
 	const crashAt = 12 * time.Minute
 	header("Coordinator crash recovery: checkpoint mid-storm, kill, restore (seed 1, FIFO)")
@@ -56,37 +57,35 @@ func crashRecovery() {
 	fmt.Printf("%d jobs; a user reclaims a reserved host every 10 virtual minutes and\n", len(specs))
 	fmt.Printf("leaves at the +5 marks; the coordinator dies at t=%v and is restored\n\n", crashAt)
 
-	setup := func() *sched.Scheduler {
-		c := cluster.NewPaperCluster()
-		c.Advance(30 * time.Minute) // quiet pool, users idle
-		s := sched.New(c, sched.FIFO, 1)
-		s.ScenarioEvery = time.Minute
-		s.Scenario = crashStorm
+	setup := func(scenario func(time.Duration, *cluster.Cluster)) *farm.Farm {
+		f := farm.New(quietPaperPool(),
+			farm.WithSeed(1),
+			farm.WithScenario(time.Minute, scenario))
 		for _, sp := range specs {
-			if err := s.Submit(sp, nil); err != nil {
+			if _, err := f.Submit(sp, nil); err != nil {
 				log.Fatal(err)
 			}
 		}
-		s.Close()
-		return s
+		f.Drain()
+		return f
 	}
 
 	// The uninterrupted reference.
-	want, err := setup().Run()
+	want, err := setup(crashStorm).Run(context.Background())
 	if err != nil {
 		log.Fatal(err)
 	}
 
 	// The doomed coordinator: same trace, but at crashAt it persists the
-	// farm and "dies" (the in-memory scheduler is discarded).
+	// farm and "dies" (the in-memory farm is discarded).
 	dir, err := os.MkdirTemp("", "fluidsim-crash-*")
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer os.RemoveAll(dir)
-	doomed := setup()
+	var doomed *farm.Farm
 	crashed := false
-	doomed.Scenario = func(t time.Duration, c *cluster.Cluster) {
+	doomed = setup(func(t time.Duration, c *cluster.Cluster) {
 		crashStorm(t, c)
 		if t >= crashAt && !crashed {
 			crashed = true
@@ -95,11 +94,11 @@ func crashRecovery() {
 			}
 			doomed.Interrupt()
 		}
-	}
-	if _, err := doomed.Run(); err != sched.ErrInterrupted {
+	})
+	if _, err := doomed.Run(context.Background()); !errors.Is(err, farm.ErrInterrupted) {
 		log.Fatalf("crashed run: %v (want ErrInterrupted)", err)
 	}
-	doomed.Close() // hand the doomed pool's reservations back (idempotent)
+	doomed.Drain() // hand the doomed pool's reservations back (idempotent)
 
 	m, err := ckpt.Load(dir)
 	if err != nil {
@@ -113,15 +112,14 @@ func crashRecovery() {
 		m.SavedAt, len(m.Jobs), byPhase[ckpt.PhaseRunning], byPhase[ckpt.PhaseQueued],
 		byPhase[ckpt.PhasePending], byPhase[ckpt.PhaseFinished], m.Reclaims)
 
-	// Recovery: a fresh pool, a fresh scheduler, the same stateless
+	// Recovery: a fresh pool, a restored farm, the same stateless
 	// scenario re-attached — and the tail of the storm replayed.
-	restored, err := sched.Restore(dir, cluster.NewPaperCluster(), nil)
+	restored, err := farm.Restore(dir, cluster.NewPaperCluster(), nil,
+		farm.WithScenario(time.Minute, crashStorm))
 	if err != nil {
 		log.Fatal(err)
 	}
-	restored.ScenarioEvery = time.Minute
-	restored.Scenario = crashStorm
-	got, err := restored.Run()
+	got, err := restored.Run(context.Background())
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -130,7 +128,7 @@ func crashRecovery() {
 		"run", "makespan", "mean wait", "max wait", "util", "reclaims", "migr")
 	for _, row := range []struct {
 		name string
-		sum  metrics.Summary
+		sum  farm.Summary
 	}{{"uninterrupted", want}, {"restored", got}} {
 		fmt.Printf("%-14s %12s %12s %12s %9.3f %9d %9d\n",
 			row.name, row.sum.Makespan.Round(time.Second), row.sum.MeanWait.Round(time.Second),

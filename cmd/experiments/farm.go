@@ -5,9 +5,8 @@ import (
 	"log"
 	"time"
 
-	"repro/internal/cluster"
+	"repro/farm"
 	"repro/internal/perf"
-	"repro/internal/sched"
 )
 
 // farmMix is the reproducible workload of the farm experiment: eight jobs
@@ -15,8 +14,8 @@ import (
 // figure-5 scaling duct), 3D boxes (examples/duct3d), 2D FD acoustics
 // (examples/acoustics) — with mixed sizes, tenants and priorities
 // arriving over the first simulated hour.
-func farmMix() []sched.JobSpec {
-	return []sched.JobSpec{
+func farmMix() []farm.JobSpec {
+	return []farm.JobSpec{
 		{ID: "duct-wide", User: "cfd", Method: "lb2d", JX: 5, JY: 4, Side: 40,
 			Steps: 8000, Priority: 1, Weight: 2},
 		{ID: "duct-quad", User: "cfd", Method: "lb2d", JX: 2, JY: 2, Side: 40,
@@ -36,27 +35,25 @@ func farmMix() []sched.JobSpec {
 	}
 }
 
-// farm compares the three queueing policies on the fixed workload mix,
-// replayed deterministically in virtual time on the paper's 25-host pool
-// with the perf engine pricing each job's steps (compute + halo exchange
-// on the modelled Ethernet).
-func farm() {
+// farmExp compares the three queueing policies on the fixed workload
+// mix, replayed deterministically in virtual time on the paper's
+// 25-host pool with the perf engine pricing each job's steps (compute +
+// halo exchange on the modelled Ethernet).
+func farmExp() {
 	header("Simulation farm: FIFO vs priority vs weighted-fair (seed 1)")
 	fmt.Printf("%d jobs on the 25-host pool; step times from the perf engine\n\n", len(farmMix()))
 	fmt.Printf("%-10s %12s %12s %12s %12s %9s %9s\n",
 		"policy", "makespan", "mean wait", "max wait", "util", "preempts", "bfills")
 	var prioSum fmt.Stringer
-	for _, pol := range []sched.Policy{sched.FIFO, sched.Priority, sched.WeightedFair} {
-		c := cluster.NewPaperCluster()
-		c.Advance(30 * time.Minute) // quiet pool, users idle
-		sum, err := sched.Replay(c, pol, 1, sched.PerfTimer(perf.Ethernet), farmMix())
+	for _, pol := range []farm.Policy{farm.FIFO, farm.Priority, farm.WeightedFair} {
+		sum, err := farm.Replay(quietPaperPool(), pol, 1, farm.PerfTimer(perf.Ethernet), farmMix())
 		if err != nil {
 			log.Fatal(err)
 		}
 		fmt.Printf("%-10s %12s %12s %12s %12.3f %9d %9d\n",
 			pol, sum.Makespan.Round(time.Second), sum.MeanWait.Round(time.Second),
 			sum.MaxWait.Round(time.Second), sum.Utilization, sum.Preemptions, sum.Backfills)
-		if pol == sched.Priority {
+		if pol == farm.Priority {
 			prioSum = sum
 		}
 	}

@@ -5,18 +5,17 @@ import (
 	"log"
 	"time"
 
+	"repro/farm"
 	"repro/internal/cluster"
 	"repro/internal/decomp"
 	"repro/internal/perf"
-	"repro/internal/sched"
-	"repro/internal/sched/metrics"
 )
 
 // uniformPricing prices every placement with the uniform
 // (identical-spans) decomposition regardless of the job's chosen shape —
 // the pre-weighting behaviour, kept as the experiment's baseline.
-func uniformPricing(spec sched.JobSpec, _ decomp.Shape, hosts []*cluster.Host) (float64, error) {
-	return sched.ComputeTimer(spec, decomp.Shape{}, hosts)
+func uniformPricing(spec farm.JobSpec, _ decomp.Shape, hosts []*cluster.Host) (float64, error) {
+	return farm.ComputeTimer(spec, decomp.Shape{}, hosts)
 }
 
 // hetero compares uniform and speed-weighted decomposition on
@@ -37,26 +36,26 @@ func hetero() {
 	}
 	cases := []struct {
 		name  string
-		spec  sched.JobSpec
+		spec  farm.JobSpec
 		hosts []*cluster.Host
 	}{
-		{"(4x1) lb2d chain", sched.JobSpec{ID: "chain", Method: "lb2d", JX: 4, JY: 1, Side: 40, Steps: 1},
+		{"(4x1) lb2d chain", farm.JobSpec{ID: "chain", Method: "lb2d", JX: 4, JY: 1, Side: 40, Steps: 1},
 			[]*cluster.Host{host(cluster.HP715, 0), host(cluster.HP715, 1), host(cluster.HP720, 2), host(cluster.HP710, 3)}},
-		{"(5x4) lb2d wide", sched.JobSpec{ID: "wide", Method: "lb2d", JX: 5, JY: 4, Side: 40, Steps: 1},
+		{"(5x4) lb2d wide", farm.JobSpec{ID: "wide", Method: "lb2d", JX: 5, JY: 4, Side: 40, Steps: 1},
 			perf.PaperHosts(20)}, // 16x 715 + 4x 720
-		{"(2x1x1) lb3d box", sched.JobSpec{ID: "box", Method: "lb3d", JX: 2, JY: 1, JZ: 1, Side: 25, Steps: 1},
+		{"(2x1x1) lb3d box", farm.JobSpec{ID: "box", Method: "lb3d", JX: 2, JY: 1, JZ: 1, Side: 25, Steps: 1},
 			[]*cluster.Host{host(cluster.HP715, 0), host(cluster.HP710, 1)}},
 	}
 
 	fmt.Printf("%-18s %-9s %14s %14s %10s\n", "job", "decomp", "compute s/step", "perf s/step", "imbalance")
-	perfTimer := sched.PerfTimer(perf.Ethernet)
+	perfTimer := farm.PerfTimer(perf.Ethernet)
 	for _, tc := range cases {
-		wsh, err := sched.WeightedShape(tc.spec, tc.hosts)
+		wsh, err := farm.WeightedShape(tc.spec, tc.hosts)
 		if err != nil {
 			log.Fatal(err)
 		}
 		row := func(label string, sh decomp.Shape) (compute, imb float64) {
-			compute, err := sched.ComputeTimer(tc.spec, sh, tc.hosts)
+			compute, err := farm.ComputeTimer(tc.spec, sh, tc.hosts)
 			if err != nil {
 				log.Fatal(err)
 			}
@@ -64,7 +63,7 @@ func hetero() {
 			if err != nil {
 				log.Fatal(err)
 			}
-			imb, err = sched.Imbalance(tc.spec, sh, tc.hosts)
+			imb, err = farm.Imbalance(tc.spec, sh, tc.hosts)
 			if err != nil {
 				log.Fatal(err)
 			}
@@ -92,10 +91,8 @@ func hetero() {
 	fmt.Println("uniform vs weighted (jobs on mixed-model reservations benefit):")
 	fmt.Printf("\n%-10s %12s %12s %12s %9s %15s\n",
 		"pricing", "makespan", "mean wait", "util", "weighted", "imbalance (max)")
-	replay := func(label string, timer sched.StepTimer) metrics.Summary {
-		c := cluster.NewPaperCluster()
-		c.Advance(30 * time.Minute)
-		sum, err := sched.Replay(c, sched.FIFO, 1, timer, farmMix())
+	replay := func(label string, timer farm.StepTimer) farm.Summary {
+		sum, err := farm.Replay(quietPaperPool(), farm.FIFO, 1, timer, farmMix())
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -63,7 +63,7 @@ func main() {
 		"convergence": convergence,
 		"networks":    futureNetworks,
 		"balancing":   balancing,
-		"farm":        farm,
+		"farm":        farmExp,
 		"reclaim":     reclaimStorm,
 		"crash":       crashRecovery,
 		"hetero":      hetero,

@@ -1,0 +1,18 @@
+package main
+
+import (
+	"time"
+
+	"repro/internal/cluster"
+)
+
+// quietPaperPool returns the paper's 25-host pool with half an hour of
+// idle time elapsed, so the load averages have decayed and every user
+// counts as idle — the common starting condition of the farm, reclaim,
+// crash and hetero scenes. Factoring it here keeps the experiments'
+// pools from drifting apart.
+func quietPaperPool() *cluster.Cluster {
+	c := cluster.NewPaperCluster()
+	c.Advance(30 * time.Minute)
+	return c
+}

@@ -1,12 +1,13 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
 
+	"repro/farm"
 	"repro/internal/cluster"
-	"repro/internal/sched"
 )
 
 // stormMix is the reclaim-storm workload: a 20-rank head job arrives two
@@ -15,13 +16,13 @@ import (
 // back from under the running jobs. The head stays narrower than the
 // pool minus the reclaimed hosts, so its projected start remains
 // computable and the EASY reservation can bite.
-func stormMix() []sched.JobSpec {
-	specs := []sched.JobSpec{
+func stormMix() []farm.JobSpec {
+	specs := []farm.JobSpec{
 		{ID: "head-wide", Method: "lb2d", JX: 5, JY: 4, Side: 40, Steps: 6000,
 			Submit: 2 * time.Minute},
 	}
 	for k := 0; k < 8; k++ {
-		specs = append(specs, sched.JobSpec{
+		specs = append(specs, farm.JobSpec{
 			ID:     fmt.Sprintf("small-%d", k),
 			Method: "lb2d", JX: 4, JY: 2, Side: 40, Steps: 15000,
 			Submit: time.Duration(k) * 5 * time.Minute,
@@ -44,51 +45,51 @@ func reclaimStorm() {
 	fmt.Printf("and leaves 30 minutes later; displaced ranks migrate the same round\n\n")
 	fmt.Printf("%-12s %12s %12s %12s %9s %9s %9s %9s %9s\n",
 		"backfill", "makespan", "mean wait", "head wait", "util", "bfills", "reclaims", "migr", "repriced")
-	for _, mode := range []sched.BackfillMode{sched.BackfillEASY, sched.BackfillAggressive} {
-		c := cluster.NewPaperCluster()
-		c.Advance(30 * time.Minute) // quiet pool, users idle
-		s := sched.New(c, sched.FIFO, 1)
-		s.Backfill = mode
-
+	for _, mode := range []farm.BackfillMode{farm.BackfillEASY, farm.BackfillAggressive} {
 		reclaimAt := make(map[*cluster.Host]time.Duration)
-		s.ScenarioEvery = time.Minute
-		s.Scenario = func(t time.Duration, c *cluster.Cluster) {
-			for h, at := range reclaimAt {
-				if at >= 0 && t-at >= 30*time.Minute {
-					c.UserGone(h)
-					reclaimAt[h] = -1 // gone; don't release twice
+		f := farm.New(quietPaperPool(),
+			farm.WithSeed(1),
+			farm.WithBackfill(mode),
+			farm.WithScenario(time.Minute, func(t time.Duration, c *cluster.Cluster) {
+				for h, at := range reclaimAt {
+					if at >= 0 && t-at >= 30*time.Minute {
+						c.UserGone(h)
+						reclaimAt[h] = -1 // gone; don't release twice
+					}
 				}
-			}
-			if t%(10*time.Minute) != 0 {
-				return
-			}
-			for _, h := range c.Hosts { // deterministic scan order
-				if h.Assigned() >= 0 && !h.Reclaimed() {
-					c.Reclaim(h)
-					reclaimAt[h] = t
+				if t%(10*time.Minute) != 0 {
 					return
 				}
-			}
-		}
+				for _, h := range c.Hosts { // deterministic scan order
+					if h.Assigned() >= 0 && !h.Reclaimed() {
+						c.Reclaim(h)
+						reclaimAt[h] = t
+						return
+					}
+				}
+			}))
+		var head *farm.Job
 		for _, sp := range stormMix() {
-			if err := s.Submit(sp, nil); err != nil {
+			j, err := f.Submit(sp, nil)
+			if err != nil {
 				log.Fatal(err)
 			}
+			if sp.ID == "head-wide" {
+				head = j
+			}
 		}
-		s.Close()
-		sum, err := s.Run()
+		f.Drain()
+		sum, err := f.Run(context.Background())
 		if err != nil {
 			log.Fatal(err)
 		}
-		var headWait time.Duration
-		for _, j := range sum.Jobs {
-			if j.ID == "head-wide" {
-				headWait = j.Wait()
-			}
+		headRec, ok := head.Metrics()
+		if !ok {
+			log.Fatalf("head-wide has no metrics after the run (status %v)", head.Status())
 		}
 		fmt.Printf("%-12s %12s %12s %12s %9.3f %9d %9d %9d %9d\n",
 			mode, sum.Makespan.Round(time.Second), sum.MeanWait.Round(time.Second),
-			headWait.Round(time.Second), sum.Utilization,
+			headRec.Wait().Round(time.Second), sum.Utilization,
 			sum.Backfills, sum.Reclaims, sum.Migrations, sum.Repricings)
 	}
 	fmt.Println("\nEASY backfill holds the wide head's projected start (computed from the")

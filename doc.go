@@ -5,10 +5,16 @@
 // (finite differences and lattice Boltzmann), static rectangular domain
 // decomposition with ghost-cell exchange, TCP messaging with a shared-file
 // port registry, and automatic migration of parallel processes from busy
-// hosts to free hosts — extended into a multi-job simulation farm
-// (internal/sched) that reuses the migration protocol for preemption.
+// hosts to free hosts — extended into a multi-job simulation farm that
+// reuses the migration protocol for preemption.
 //
-// The library lives under internal/; see README.md for the architecture
+// The farm package at the module root is the supported public surface
+// for running a simulation farm: functional-option construction, typed
+// job handles, sentinel errors, a context-aware lifecycle and a
+// structured event stream over the internal scheduler.
+//
+// The rest of the library lives under internal/; see README.md for the
+// architecture
 // and package map, DESIGN.md for the per-experiment index, and
 // EXPERIMENTS.md for how to run the evaluation and what to expect. The
 // benchmarks in bench_test.go regenerate every table and figure of the

@@ -1,45 +1,58 @@
-// Farm: the online multi-job scheduler end to end with a real simulation
-// in the mix. A low-priority 2D lattice-Boltzmann channel flow starts on
-// four hosts of the paper's 25-workstation pool; five virtual minutes
-// later a high-priority 22-rank burst arrives and the scheduler preempts
-// the simulation through the section-5.1 migration protocol — every rank
+// Farm: the public farm API end to end with a real simulation in the
+// mix. A low-priority 2D lattice-Boltzmann channel flow starts on four
+// hosts of the paper's 25-workstation pool; five virtual minutes later
+// a high-priority 22-rank burst arrives and the farm preempts the
+// simulation through the section-5.1 migration protocol — every rank
 // synchronizes, dumps its state and exits. When the burst drains, the
 // simulation resumes from its checkpoint on freshly reserved hosts. At
 // fifteen virtual minutes a regular user sits back down at one of the
 // simulation's workstations: the farm reacts in the same scheduling
-// round, migrating just the displaced rank to a fresh host and repricing
-// the job, instead of squatting beside the user. After all of that, the
-// final solution is still bitwise identical to an undisturbed run.
+// round, migrating just the displaced rank to a fresh host and
+// repricing the job, instead of squatting beside the user. After all of
+// that, the final solution is still bitwise identical to an undisturbed
+// run.
 //
-// The scheduler runs with its default EASY backfill (sched.BackfillEASY):
-// jobs behind a blocked queue head may only fill gaps if they finish
-// before the head's projected start, so bursts of small jobs cannot
-// starve a wide one. Set Backfill to sched.BackfillAggressive to see the
-// pre-EASY behaviour, or sched.BackfillNone for strict head-of-line
-// order.
+// The example is written against the public farm package — the
+// supported control-plane surface:
+//
+//   - farm.New builds the farm with functional options (policy, seed,
+//     periodic checkpointing, a scripted scenario);
+//   - Submit returns a typed *farm.Job handle whose Metrics report the
+//     job's lifecycle after the run;
+//   - Subscribe taps the structured event stream — every preemption,
+//     migration, host reclaim and checkpoint commit of the scheduling
+//     rounds, in deterministic order for the fixed seed;
+//   - Drain closes the farm and Run(ctx) drives it to completion
+//     (cancelling the context would checkpoint and stop it instead).
+//
+// The farm runs with its default EASY backfill: jobs behind a blocked
+// queue head may only fill gaps if they finish before the head's
+// projected start, so bursts of small jobs cannot starve a wide one.
+// farm.WithBackfill selects the aggressive or strict-order modes.
 //
 // The farm also checkpoints itself to disk every four virtual minutes
-// (CheckpointEvery): the running simulation's rank states are persisted
-// through the suspend-and-resume snapshot — without evicting it — next
-// to a manifest holding the coordinator's complete bookkeeping, so a
-// crashed coordinator could be rebuilt with sched.Restore and finish
-// bit-identically (see `go run ./cmd/experiments -exp=crash`).
+// (farm.WithCheckpoint): the running simulation's rank states are
+// persisted through the suspend-and-resume snapshot — without evicting
+// it — next to a manifest holding the coordinator's complete
+// bookkeeping, so a crashed coordinator could be rebuilt with
+// farm.Restore and finish bit-identically (see `go run
+// ./cmd/experiments -exp=crash`).
 //
 //	go run ./examples/farm
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
 	"time"
 
+	"repro/farm"
 	"repro/internal/ckpt"
-	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/decomp"
 	"repro/internal/fluid"
-	"repro/internal/sched"
 	"repro/internal/syncfile"
 )
 
@@ -86,10 +99,9 @@ func main() {
 		log.Fatal(err)
 	}
 
-	pool := cluster.NewPaperCluster()
+	pool := farm.NewPaperCluster()
 	pool.Advance(30 * time.Minute) // everyone idle: the whole pool is free
 
-	s := sched.New(pool, sched.Priority, 42)
 	// Durability: persist the whole farm every four virtual minutes. A
 	// running simulation is checkpointed through the suspend/resume
 	// round trip, so it keeps its hosts and its results stay identical.
@@ -98,52 +110,68 @@ func main() {
 		log.Fatal(err)
 	}
 	defer os.RemoveAll(ckptDir)
-	s.CheckpointEvery = 4 * time.Minute
-	s.CheckpointDir = ckptDir
+
+	// Fifteen virtual minutes in — after the burst has drained and the
+	// simulation resumed — a user reclaims one of its workstations.
+	reclaimed := false
+	f := farm.New(pool,
+		farm.WithPolicy(farm.Priority),
+		farm.WithSeed(42),
+		farm.WithCheckpoint(ckptDir, 4*time.Minute, 0),
+		farm.WithScenario(time.Minute, func(t time.Duration, c *farm.Cluster) {
+			if t < 15*time.Minute || reclaimed {
+				return
+			}
+			for _, h := range c.Hosts {
+				if h.Owner() == "channel-sim" {
+					c.Reclaim(h)
+					reclaimed = true
+					return
+				}
+			}
+		}))
+
+	// Tap the structured decision stream before running; the interesting
+	// lifecycle events are printed after the run, in emission order.
+	sub := f.Subscribe()
+
 	// The simulation: low priority. Side inflates its virtual workload so
 	// the burst arrives mid-run on the scheduler's clock.
-	err = s.Submit(sched.JobSpec{
+	sim, err := f.Submit(farm.JobSpec{
 		ID: "channel-sim", Method: "lb2d", JX: 2, JY: 2, Side: 1000, Steps: steps,
 		Priority: 0,
-	}, &sched.CoreWorkload{Job: job, Cluster: pool})
+	}, &farm.CoreWorkload{Job: job, Cluster: pool})
 	if err != nil {
 		log.Fatal(err)
 	}
 	// The burst: 22 ranks, high priority, five virtual minutes in. Only
 	// 21 hosts are free then, so the scheduler must preempt.
-	err = s.Submit(sched.JobSpec{
+	if _, err := f.Submit(farm.JobSpec{
 		ID: "param-sweep", Method: "lb2d", JX: 11, JY: 2, Side: 40, Steps: 2000,
 		Priority: 9, Submit: 5 * time.Minute,
-	}, nil)
-	if err != nil {
+	}, nil); err != nil {
 		log.Fatal(err)
 	}
 
-	// Fifteen virtual minutes in — after the burst has drained and the
-	// simulation resumed — a user reclaims one of its workstations.
-	reclaimed := false
-	s.ScenarioEvery = time.Minute
-	s.Scenario = func(t time.Duration, c *cluster.Cluster) {
-		if t < 15*time.Minute || reclaimed {
-			return
-		}
-		for _, h := range c.Hosts {
-			if h.Owner() == "channel-sim" {
-				fmt.Printf("t=%v: user returns to %s; farm migrates the displaced rank\n", t, h.Name)
-				c.Reclaim(h)
-				reclaimed = true
-				return
-			}
-		}
-	}
-
 	fmt.Println("running the farm (priority policy, EASY backfill, seed 42)...")
-	s.Close() // no more submissions: Run drains the farm and returns
-	sum, err := s.Run()
+	f.Drain() // no more submissions: Run drains the farm and returns
+	sum, err := f.Run(context.Background())
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Print(sum)
+
+	fmt.Println("\nlifecycle events (from the farm's structured stream):")
+	checkpoints := 0
+	for ev := range sub.Events() {
+		switch ev.(type) {
+		case farm.JobPreempted, farm.HostReclaimed, farm.JobMigrated:
+			fmt.Printf("  %s\n", ev)
+		case farm.CheckpointSaved:
+			checkpoints++
+		}
+	}
+	fmt.Printf("  (plus %d periodic checkpoint commits, every 4 virtual minutes)\n", checkpoints)
 
 	got := progs.Gather(steps)
 	for i := range ref.Rho {
@@ -151,8 +179,9 @@ func main() {
 			log.Fatalf("solution differs at node %d after preemption + migration", i)
 		}
 	}
+	simRec, _ := sim.Metrics()
 	fmt.Printf("\nthe simulation survived %d preemption(s) and %d mid-run migration(s)\n",
-		sum.Preemptions, sum.Migrations)
+		simRec.Preemptions, simRec.Migrations)
 	fmt.Printf("and its %d-step solution is bitwise identical to the undisturbed run\n", steps)
 	fmt.Printf("(communication epoch %d after the dump/rebuild round trips)\n", job.Epoch())
 
@@ -166,6 +195,6 @@ func main() {
 		fmt.Printf("\nlast auto-checkpoint: t=%v, %d jobs in the manifest (%d with rank\n",
 			m.SavedAt, len(m.Jobs), saved)
 		fmt.Println("states on disk) — a crashed coordinator would restore from it with")
-		fmt.Println("sched.Restore and finish this exact farm, bit-identically")
+		fmt.Println("farm.Restore and finish this exact farm, bit-identically")
 	}
 }

@@ -1,0 +1,597 @@
+package farm_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/farm"
+	"repro/internal/cluster"
+	"repro/internal/sched"
+)
+
+func quietPool() *cluster.Cluster {
+	c := cluster.NewPaperCluster()
+	c.Advance(30 * time.Minute)
+	return c
+}
+
+// stormMix is the reclaim-storm workload of the experiments: a 20-rank
+// head behind a stream of 8-rank jobs.
+func stormMix() []farm.JobSpec {
+	specs := []farm.JobSpec{
+		{ID: "head-wide", Method: "lb2d", JX: 5, JY: 4, Side: 40, Steps: 6000,
+			Submit: 2 * time.Minute},
+	}
+	for k := 0; k < 8; k++ {
+		specs = append(specs, farm.JobSpec{
+			ID:     fmt.Sprintf("small-%d", k),
+			Method: "lb2d", JX: 4, JY: 2, Side: 40, Steps: 15000,
+			Submit: time.Duration(k) * 5 * time.Minute,
+		})
+	}
+	return specs
+}
+
+// storm scripts deterministic user activity from the observable cluster
+// state only, so the same function can be re-attached to a restored
+// farm.
+func storm(t time.Duration, c *cluster.Cluster) {
+	switch {
+	case t > 0 && t%(10*time.Minute) == 0:
+		for _, h := range c.Hosts {
+			if h.Assigned() >= 0 && !h.Reclaimed() {
+				c.Reclaim(h)
+				return
+			}
+		}
+	case t > 5*time.Minute && t%(10*time.Minute) == 5*time.Minute:
+		for _, h := range c.Hosts {
+			if h.Reclaimed() && h.Jobs() > 0 {
+				c.UserGone(h)
+				return
+			}
+		}
+	}
+}
+
+// collectTrace runs the storm workload under the farm API and returns
+// the event trace (one String per event) plus the summary.
+func collectTrace(t *testing.T, opts ...farm.Option) ([]string, farm.Summary) {
+	t.Helper()
+	opts = append([]farm.Option{
+		farm.WithSeed(1),
+		farm.WithScenario(time.Minute, storm),
+	}, opts...)
+	f := farm.New(quietPool(), opts...)
+	sub := f.SubscribeBuffered(1 << 14)
+	for _, sp := range stormMix() {
+		if _, err := f.Submit(sp, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	f.Drain()
+	sum, err := f.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.Dropped() != 0 {
+		t.Fatalf("trace subscriber dropped %d events; grow the buffer", sub.Dropped())
+	}
+	var trace []string
+	for ev := range sub.Events() {
+		trace = append(trace, ev.String())
+	}
+	return trace, sum
+}
+
+// TestEventTraceDeterministic: two runs of the same trace with the same
+// seed produce byte-identical event streams.
+func TestEventTraceDeterministic(t *testing.T) {
+	a, sumA := collectTrace(t)
+	b, sumB := collectTrace(t)
+	if len(a) == 0 {
+		t.Fatal("no events emitted")
+	}
+	if ta, tb := strings.Join(a, "\n"), strings.Join(b, "\n"); ta != tb {
+		t.Errorf("event traces differ between identical runs:\n--- run A ---\n%s\n--- run B ---\n%s", ta, tb)
+	}
+	if !reflect.DeepEqual(sumA, sumB) {
+		t.Error("summaries differ between identical runs")
+	}
+	// The stream covers the round's decision points: admissions,
+	// placements, completions, reclaims and migrations all appear for
+	// this workload.
+	kinds := map[string]bool{}
+	for _, line := range a {
+		for _, k := range []string{" queued ", " placed ", " finished ", " reclaimed ", " migrated "} {
+			if strings.Contains(line, k) {
+				kinds[k] = true
+			}
+		}
+	}
+	if len(kinds) != 5 {
+		t.Errorf("storm trace misses decision points: got %v", kinds)
+	}
+}
+
+// TestEventTraceAcrossRestore: the concatenation of a crashed farm's
+// events and its restored continuation is byte-identical to the
+// uninterrupted stream — a restored farm emits exactly the events the
+// dead coordinator had not yet emitted.
+func TestEventTraceAcrossRestore(t *testing.T) {
+	const crashAt = 12 * time.Minute
+
+	// Reference: uninterrupted, but checkpointing at the same virtual
+	// time so the CheckpointSaved event appears in both streams.
+	refDir := t.TempDir()
+	saved := false
+	var ref *farm.Farm
+	refTraceRun := func() []string {
+		ref = farm.New(quietPool(),
+			farm.WithSeed(1),
+			farm.WithScenario(time.Minute, func(tt time.Duration, c *cluster.Cluster) {
+				storm(tt, c)
+				if tt >= crashAt && !saved {
+					saved = true
+					if err := ref.Checkpoint(refDir); err != nil {
+						t.Error(err)
+					}
+				}
+			}))
+		sub := ref.SubscribeBuffered(1 << 14)
+		for _, sp := range stormMix() {
+			if _, err := ref.Submit(sp, nil); err != nil {
+				t.Fatal(err)
+			}
+		}
+		ref.Drain()
+		if _, err := ref.Run(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+		var trace []string
+		for ev := range sub.Events() {
+			trace = append(trace, ev.String())
+		}
+		return trace
+	}
+	want := refTraceRun()
+
+	// The doomed run: checkpoint at crashAt, then die.
+	dir := t.TempDir()
+	crashed := false
+	var doomed *farm.Farm
+	doomed = farm.New(quietPool(),
+		farm.WithSeed(1),
+		farm.WithScenario(time.Minute, func(tt time.Duration, c *cluster.Cluster) {
+			storm(tt, c)
+			if tt >= crashAt && !crashed {
+				crashed = true
+				if err := doomed.Checkpoint(dir); err != nil {
+					t.Error(err)
+				}
+				doomed.Interrupt()
+			}
+		}))
+	subA := doomed.SubscribeBuffered(1 << 14)
+	for _, sp := range stormMix() {
+		if _, err := doomed.Submit(sp, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	doomed.Drain()
+	if _, err := doomed.Run(context.Background()); !errors.Is(err, farm.ErrInterrupted) {
+		t.Fatalf("doomed run: %v, want ErrInterrupted", err)
+	}
+	// An interrupted farm's stream stays open (the farm could Run
+	// again); this coordinator is dead, so detach explicitly — the
+	// buffered events stay readable and the range ends.
+	subA.Close()
+	var got []string
+	for ev := range subA.Events() {
+		got = append(got, ev.String())
+	}
+
+	// The restored continuation re-attaches a fresh subscriber.
+	restored, err := farm.Restore(dir, cluster.NewPaperCluster(), nil,
+		farm.WithScenario(time.Minute, storm))
+	if err != nil {
+		t.Fatal(err)
+	}
+	subB := restored.SubscribeBuffered(1 << 14)
+	if _, err := restored.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	for ev := range subB.Events() {
+		got = append(got, ev.String())
+	}
+
+	if wantS, gotS := strings.Join(want, "\n"), strings.Join(got, "\n"); wantS != gotS {
+		t.Errorf("crash+restore event stream differs from the uninterrupted one:\n--- uninterrupted ---\n%s\n--- crashed+restored ---\n%s", wantS, gotS)
+	}
+}
+
+// TestFarmMatchesRawScheduler: the reclaim-storm experiment driven
+// through the public farm API produces a summary bit-identical to the
+// raw internal scheduler configured by struct fields — the redesign
+// changed the surface, not the schedule.
+func TestFarmMatchesRawScheduler(t *testing.T) {
+	for _, mode := range []farm.BackfillMode{farm.BackfillEASY, farm.BackfillAggressive} {
+		raw := sched.New(quietPool(), sched.FIFO, 1)
+		raw.Backfill = mode
+		raw.ScenarioEvery = time.Minute
+		raw.Scenario = storm
+		for _, sp := range stormMix() {
+			if err := raw.Submit(sp, nil); err != nil {
+				t.Fatal(err)
+			}
+		}
+		raw.Close()
+		want, err := raw.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		f := farm.New(quietPool(),
+			farm.WithSeed(1),
+			farm.WithBackfill(mode),
+			farm.WithScenario(time.Minute, storm))
+		for _, sp := range stormMix() {
+			if _, err := f.Submit(sp, nil); err != nil {
+				t.Fatal(err)
+			}
+		}
+		f.Drain()
+		got, err := f.Run(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(want, got) {
+			t.Errorf("backfill %v: farm summary differs from the raw scheduler\nraw:\n%v\nfarm:\n%v", mode, want, got)
+		}
+	}
+}
+
+// TestSlowSubscriberDoesNotStall: a subscriber that never drains cannot
+// block the scheduling round — overflow events are dropped and counted,
+// and the buffered prefix stays readable.
+func TestSlowSubscriberDoesNotStall(t *testing.T) {
+	f := farm.New(quietPool(), farm.WithSeed(1),
+		farm.WithScenario(time.Minute, storm))
+	sub := f.SubscribeBuffered(2)
+	for _, sp := range stormMix() {
+		if _, err := f.Submit(sp, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	f.Drain()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		if _, err := f.Run(context.Background()); err != nil {
+			t.Error(err)
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("run stalled behind an undrained subscriber")
+	}
+	if sub.Dropped() == 0 {
+		t.Error("expected overflow drops on a 2-slot buffer")
+	}
+	var kept []farm.Event
+	for ev := range sub.Events() {
+		kept = append(kept, ev)
+	}
+	if len(kept) != 2 {
+		t.Errorf("kept %d buffered events, want exactly the 2 oldest", len(kept))
+	}
+}
+
+// TestSubmitTypedErrors: the public surface exposes the sentinel
+// rejections for errors.Is branching.
+func TestSubmitTypedErrors(t *testing.T) {
+	f := farm.New(quietPool())
+	ok := farm.JobSpec{ID: "x", Method: "lb2d", JX: 1, JY: 1, Side: 4, Steps: 1}
+	if _, err := f.Submit(ok, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Submit(ok, nil); !errors.Is(err, farm.ErrDuplicateID) {
+		t.Errorf("duplicate: %v, want ErrDuplicateID", err)
+	}
+	if _, err := f.Submit(farm.JobSpec{ID: "bad"}, nil); !errors.Is(err, farm.ErrInvalidSpec) {
+		t.Errorf("invalid: %v, want ErrInvalidSpec", err)
+	}
+	if _, err := f.Submit(farm.JobSpec{ID: "huge", Method: "lb2d", JX: 6, JY: 5, Side: 4, Steps: 1}, nil); !errors.Is(err, farm.ErrNoCapacity) {
+		t.Errorf("oversized: %v, want ErrNoCapacity", err)
+	}
+	f.Drain()
+	if _, err := f.Submit(farm.JobSpec{ID: "late", Method: "lb2d", JX: 1, JY: 1, Side: 4, Steps: 1}, nil); !errors.Is(err, farm.ErrClosed) {
+		t.Errorf("after Drain: %v, want ErrClosed", err)
+	}
+	// A rejected ID is not burned: the huge job's slot is reusable on a
+	// pool that fits it (fresh farm, since this one is drained).
+	f2 := farm.New(quietPool())
+	if _, err := f2.Submit(farm.JobSpec{ID: "huge", Method: "lb2d", JX: 5, JY: 5, Side: 4, Steps: 1}, nil); err != nil {
+		t.Errorf("25-rank job on the 25-host pool rejected: %v", err)
+	}
+}
+
+// TestJobHandleLifecycle: the handle tracks status through the farm,
+// Wait unblocks on completion, and Metrics carries the final record.
+func TestJobHandleLifecycle(t *testing.T) {
+	f := farm.New(quietPool(), farm.WithSeed(1))
+	j, err := f.Submit(farm.JobSpec{
+		ID: "solo", Method: "lb2d", JX: 2, JY: 2, Side: 40, Steps: 100,
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j.ID() != "solo" || j.Status() != farm.StatusPending {
+		t.Fatalf("fresh handle: id %q status %v", j.ID(), j.Status())
+	}
+	if _, ok := j.Metrics(); ok {
+		t.Error("metrics available before the job ran")
+	}
+	f.Drain()
+	go func() {
+		if _, err := f.Run(context.Background()); err != nil {
+			t.Error(err)
+		}
+	}()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := j.Wait(ctx); err != nil {
+		t.Fatalf("Wait: %v", err)
+	}
+	if j.Status() != farm.StatusFinished {
+		t.Errorf("status after Wait = %v, want finished", j.Status())
+	}
+	rec, ok := j.Metrics()
+	if !ok || rec.ID != "solo" || rec.Ranks != 4 {
+		t.Errorf("metrics after Wait: %+v ok=%v", rec, ok)
+	}
+	// A second Wait returns immediately; a canceled context wins over a
+	// never-finishing wait.
+	if err := j.Wait(ctx); err != nil {
+		t.Errorf("second Wait: %v", err)
+	}
+	canceled, cancelNow := context.WithCancel(context.Background())
+	cancelNow()
+	f2 := farm.New(quietPool())
+	jj, err := f2.Submit(farm.JobSpec{ID: "later", Method: "lb2d", JX: 1, JY: 1, Side: 4, Steps: 1}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := jj.Wait(canceled); !errors.Is(err, context.Canceled) {
+		t.Errorf("Wait with canceled ctx: %v", err)
+	}
+}
+
+// TestWaitAfterInterruptedRun: when Run returns without finishing a
+// job, Wait reports ErrStopped (wrapping the run's error) instead of
+// hanging — including a Wait that started before Run was ever called.
+func TestWaitAfterInterruptedRun(t *testing.T) {
+	f := farm.New(quietPool())
+	j, err := f.Submit(farm.JobSpec{ID: "orphan", Method: "lb2d", JX: 2, JY: 2, Side: 40, Steps: 1000}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A waiter that begins before Run must still observe the run ending.
+	earlyErr := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		earlyErr <- j.Wait(ctx)
+	}()
+	f.Interrupt()
+	if _, err := f.Run(context.Background()); !errors.Is(err, farm.ErrInterrupted) {
+		t.Fatalf("interrupted Run: %v", err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	err = j.Wait(ctx)
+	if !errors.Is(err, farm.ErrStopped) || !errors.Is(err, farm.ErrInterrupted) {
+		t.Errorf("Wait after interrupted run: %v, want ErrStopped wrapping ErrInterrupted", err)
+	}
+	if err := <-earlyErr; !errors.Is(err, farm.ErrStopped) {
+		t.Errorf("Wait started before Run: %v, want ErrStopped (not a context timeout)", err)
+	}
+	if _, ok := f.Job("orphan"); !ok {
+		t.Error("handle lookup lost the job")
+	}
+}
+
+// TestRunContextCancelCheckpoints: cancelling Run's context persists
+// the farm (checkpoint directory configured) before interrupting, and
+// the restored continuation finishes bit-identically to a run that was
+// never cancelled.
+func TestRunContextCancelCheckpoints(t *testing.T) {
+	newStorm := func(dir string) *farm.Farm {
+		f := farm.New(quietPool(),
+			farm.WithSeed(1),
+			farm.WithCheckpoint(dir, 0, 0), // cancellation saves only
+			farm.WithScenario(time.Minute, storm))
+		for _, sp := range stormMix() {
+			if _, err := f.Submit(sp, nil); err != nil {
+				t.Fatal(err)
+			}
+		}
+		f.Drain()
+		return f
+	}
+
+	// Reference: the same farm, never cancelled. The checkpoint dir is
+	// configured but no periodic save fires, so the trace is untouched.
+	want, err := newStorm(t.TempDir()).Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	f := newStorm(dir)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // already canceled: the run checkpoints and stops at its first check
+	_, err = f.Run(ctx)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled Run: %v, want context.Canceled", err)
+	}
+
+	restored, err := farm.Restore(dir, cluster.NewPaperCluster(), nil,
+		farm.WithScenario(time.Minute, storm))
+	if err != nil {
+		t.Fatalf("restore from the cancellation checkpoint: %v", err)
+	}
+	got, err := restored.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(want, got) {
+		t.Errorf("restored-after-cancel summary differs from the uninterrupted run\nwant:\n%v\ngot:\n%v", want, got)
+	}
+}
+
+// TestSubscribeAfterRunIsClosed: a subscription made once the stream is
+// over arrives pre-closed instead of blocking its reader forever; one
+// made before the next Run observes that run and closes with it.
+func TestSubscribeAfterRunIsClosed(t *testing.T) {
+	f := farm.New(quietPool())
+	if _, err := f.Submit(farm.JobSpec{ID: "a", Method: "lb2d", JX: 1, JY: 1, Side: 4, Steps: 1}, nil); err != nil {
+		t.Fatal(err)
+	}
+	f.Drain()
+	if _, err := f.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	late := f.Subscribe()
+	for range late.Events() {
+		t.Error("pre-closed subscription delivered an event")
+	}
+	if late.Dropped() != 0 {
+		t.Errorf("pre-closed subscription dropped %d", late.Dropped())
+	}
+}
+
+// TestRunAgainAfterInterrupt: an interrupt is consumed by the Run that
+// honors it — a later Run of the same farm starts clean instead of
+// being aborted by the stale request.
+func TestRunAgainAfterInterrupt(t *testing.T) {
+	f := farm.New(quietPool())
+	j, err := f.Submit(farm.JobSpec{ID: "late-bloomer", Method: "lb2d", JX: 2, JY: 2, Side: 40, Steps: 100}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Interrupt()
+	if _, err := f.Run(context.Background()); !errors.Is(err, farm.ErrInterrupted) {
+		t.Fatalf("interrupted Run: %v", err)
+	}
+	f.Drain()
+	sum, err := f.Run(context.Background())
+	if err != nil {
+		t.Fatalf("re-Run after a consumed interrupt: %v", err)
+	}
+	if len(sum.Jobs) != 1 || j.Status() != farm.StatusFinished {
+		t.Errorf("re-Run finished %d jobs, handle status %v", len(sum.Jobs), j.Status())
+	}
+}
+
+// TestRunAfterDrainFinalized: draining a farm whose Run was interrupted
+// hands its placed jobs' reservations back, so a later Run refuses with
+// a descriptive error instead of panicking on the missing reservations.
+func TestRunAfterDrainFinalized(t *testing.T) {
+	interrupted := false
+	var f *farm.Farm
+	f = farm.New(quietPool(),
+		farm.WithSeed(1),
+		farm.WithScenario(time.Minute, func(tt time.Duration, c *cluster.Cluster) {
+			if tt >= 2*time.Minute && !interrupted {
+				interrupted = true
+				f.Interrupt()
+			}
+		}))
+	if _, err := f.Submit(farm.JobSpec{ID: "held", Method: "lb2d", JX: 2, JY: 2, Side: 40, Steps: 100000}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Run(context.Background()); !errors.Is(err, farm.ErrInterrupted) {
+		t.Fatalf("interrupted run: %v", err)
+	}
+	f.Drain() // finalizes: the held reservations go back to the pool
+	if _, err := f.Run(context.Background()); err == nil || !strings.Contains(err.Error(), "finalized") {
+		t.Fatalf("Run after finalizing Drain: %v, want the finalized-farm refusal", err)
+	}
+}
+
+// TestRunResumesBitIdentical: interrupting a farm mid-storm — with
+// virtual time elapsed and jobs placed — and calling Run again on the
+// same in-memory farm finishes bit-identically to an uninterrupted run:
+// the resumed Run keeps the original clock anchor and re-enters the
+// loop exactly at the round boundary the interrupt cut.
+func TestRunResumesBitIdentical(t *testing.T) {
+	const stopAt = 12 * time.Minute
+
+	run := func(interrupt bool) farm.Summary {
+		interrupted := false
+		var f *farm.Farm
+		f = farm.New(quietPool(),
+			farm.WithSeed(1),
+			farm.WithScenario(time.Minute, func(tt time.Duration, c *cluster.Cluster) {
+				storm(tt, c)
+				if interrupt && tt >= stopAt && !interrupted {
+					interrupted = true
+					f.Interrupt()
+				}
+			}))
+		for _, sp := range stormMix() {
+			if _, err := f.Submit(sp, nil); err != nil {
+				t.Fatal(err)
+			}
+		}
+		f.Drain()
+		if interrupt {
+			if _, err := f.Run(context.Background()); !errors.Is(err, farm.ErrInterrupted) {
+				t.Fatalf("interrupted run: %v", err)
+			}
+		}
+		sum, err := f.Run(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sum
+	}
+
+	want := run(false)
+	got := run(true)
+	if !reflect.DeepEqual(want, got) {
+		t.Errorf("resumed farm differs from the uninterrupted one\nwant:\n%v\ngot:\n%v", want, got)
+	}
+}
+
+// TestRestoreRejectsManifestOptions: policy, backfill and seed belong
+// to the checkpoint manifest; Restore refuses overrides.
+func TestRestoreRejectsManifestOptions(t *testing.T) {
+	dir := t.TempDir()
+	f := farm.New(quietPool(), farm.WithSeed(7))
+	if _, err := f.Submit(farm.JobSpec{ID: "a", Method: "lb2d", JX: 1, JY: 1, Side: 4, Steps: 10}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Checkpoint(dir); err != nil {
+		t.Fatal(err)
+	}
+	for _, opt := range []farm.Option{
+		farm.WithPolicy(farm.Priority),
+		farm.WithBackfill(farm.BackfillNone),
+		farm.WithSeed(9),
+	} {
+		if _, err := farm.Restore(dir, cluster.NewPaperCluster(), nil, opt); err == nil {
+			t.Error("Restore accepted a manifest-owned option override")
+		}
+	}
+	if _, err := farm.Restore(dir, cluster.NewPaperCluster(), nil); err != nil {
+		t.Errorf("plain Restore failed: %v", err)
+	}
+}

@@ -1,0 +1,131 @@
+package farm
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/sched"
+)
+
+// ErrStopped is returned by Job.Wait when the farm's Run returned —
+// drained, interrupted or failed — before the job finished.
+var ErrStopped = errors.New("farm run ended before the job finished")
+
+// Status is a job's position in the farm lifecycle — the scheduler's
+// Phase, shared so the two can never drift.
+type Status = sched.Phase
+
+const (
+	// StatusPending: submitted, arrival time not yet reached.
+	StatusPending = sched.PhasePending
+	// StatusQueued: admitted (or preempted back), waiting for placement.
+	StatusQueued = sched.PhaseQueued
+	// StatusRunning: placed on a reservation, accruing virtual time.
+	StatusRunning = sched.PhaseRunning
+	// StatusFinished: completed; Metrics is final.
+	StatusFinished = sched.PhaseFinished
+)
+
+// Job is the typed handle Submit returns: it tracks one job through the
+// farm without exposing scheduler internals. All methods are safe from
+// any goroutine while the farm runs.
+type Job struct {
+	id string
+	f  *Farm
+
+	mu     sync.Mutex
+	status Status
+	rec    JobMetrics
+	hasRec bool
+	done   chan struct{} // closed when the job finishes
+}
+
+func newJob(f *Farm, id string) *Job {
+	return &Job{id: id, f: f, done: make(chan struct{})}
+}
+
+// ID returns the job's identifier.
+func (j *Job) ID() string { return j.id }
+
+// Status returns the job's current lifecycle position, maintained from
+// the farm's event stream (preemption moves a job back to
+// StatusQueued; migration keeps it StatusRunning).
+func (j *Job) Status() Status {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.status
+}
+
+// Metrics returns the job's final metrics record; ok is false until the
+// job has finished.
+func (j *Job) Metrics() (JobMetrics, bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.rec, j.hasRec
+}
+
+// Done returns a channel closed when the job finishes — the select-able
+// form of Wait.
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// Wait blocks until the job finishes (nil), the context is done
+// (ctx.Err()), or the farm's Run returns without finishing it (an error
+// wrapping ErrStopped, and the run's own error when it failed). Wait
+// may start before Run does, and a waiter that outlives one Run re-arms
+// on the next: it reports ErrStopped only for the run generation that
+// actually ended without finishing the job.
+func (j *Job) Wait(ctx context.Context) error {
+	if ctx == nil {
+		ctx = context.Background() // tolerate nil like Farm.Run does
+	}
+	f := j.f
+	for {
+		f.mu.Lock()
+		rs := f.run
+		f.mu.Unlock()
+		select {
+		case <-j.done:
+			return nil
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-rs.done:
+			// That run returned; the job may have finished in its last
+			// round.
+			select {
+			case <-j.done:
+				return nil
+			default:
+			}
+			f.mu.Lock()
+			superseded := f.run != rs
+			f.mu.Unlock()
+			if superseded {
+				// A newer Run took over while this waiter slept; wait on
+				// it instead of reporting a stale generation's ending.
+				continue
+			}
+			if rs.err != nil {
+				return fmt.Errorf("farm: job %s: %w: %w", j.id, ErrStopped, rs.err)
+			}
+			return fmt.Errorf("farm: job %s: %w", j.id, ErrStopped)
+		}
+	}
+}
+
+// finish records the job's completion.
+func (j *Job) finish(rec JobMetrics) {
+	j.mu.Lock()
+	j.status = StatusFinished
+	j.rec, j.hasRec = rec, true
+	j.mu.Unlock()
+	close(j.done)
+}
+
+// setStatus records a lifecycle transition short of completion.
+func (j *Job) setStatus(st Status) {
+	j.mu.Lock()
+	j.status = st
+	j.mu.Unlock()
+}

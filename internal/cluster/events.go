@@ -34,6 +34,12 @@ type HostEvent struct {
 	Kind HostEventKind
 	Host *Host
 	At   time.Duration
+	// Owner is the job whose subprocess held the host at the instant
+	// the event was recorded ("" for an unreserved host). It is
+	// captured here, not at drain time: the owning job may complete —
+	// releasing the host — before the farm's next round drains the
+	// stream.
+	Owner string
 }
 
 // Reclaim marks the host's regular user as returned: interactive activity
@@ -45,7 +51,7 @@ func (c *Cluster) Reclaim(h *Host) {
 	h.TouchUser()
 	h.StartJob()
 	h.reclaimed = true
-	c.events = append(c.events, HostEvent{Kind: EventReclaim, Host: h, At: c.now})
+	c.events = append(c.events, HostEvent{Kind: EventReclaim, Host: h, At: c.now, Owner: h.Owner()})
 }
 
 // UserGone removes one of the regular user's processes; when it was the

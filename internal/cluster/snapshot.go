@@ -25,11 +25,14 @@ type HostState struct {
 }
 
 // EventState is one pending host event, with the host identified by name
-// so the record serializes.
+// so the record serializes. Owner is the reservation holder captured
+// when the event was recorded, so a restored farm's event reporting
+// matches the dead coordinator's.
 type EventState struct {
-	Kind HostEventKind
-	Host string
-	At   time.Duration
+	Kind  HostEventKind
+	Host  string
+	At    time.Duration
+	Owner string
 }
 
 // Snapshot is the complete serializable state of a cluster: the virtual
@@ -58,7 +61,7 @@ func (c *Cluster) Snapshot() Snapshot {
 		}
 	}
 	for _, ev := range c.events {
-		s.Events = append(s.Events, EventState{Kind: ev.Kind, Host: ev.Host.Name, At: ev.At})
+		s.Events = append(s.Events, EventState{Kind: ev.Kind, Host: ev.Host.Name, At: ev.At, Owner: ev.Owner})
 	}
 	return s
 }
@@ -99,7 +102,7 @@ func (c *Cluster) RestoreSnapshot(s Snapshot) error {
 		if h == nil {
 			return fmt.Errorf("cluster: snapshot event for unknown host %q", ev.Host)
 		}
-		c.events = append(c.events, HostEvent{Kind: ev.Kind, Host: h, At: ev.At})
+		c.events = append(c.events, HostEvent{Kind: ev.Kind, Host: h, At: ev.At, Owner: ev.Owner})
 	}
 	return nil
 }

@@ -15,6 +15,7 @@ package decomp
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 )
 
@@ -46,18 +47,7 @@ func (s Shape) Nodes(i, j, k int) int {
 
 // Equal reports whether two shapes assign identical spans.
 func (s Shape) Equal(o Shape) bool {
-	eq := func(a, b []int) bool {
-		if len(a) != len(b) {
-			return false
-		}
-		for i := range a {
-			if a[i] != b[i] {
-				return false
-			}
-		}
-		return true
-	}
-	return eq(s.X, o.X) && eq(s.Y, o.Y) && eq(s.Z, o.Z)
+	return slices.Equal(s.X, o.X) && slices.Equal(s.Y, o.Y) && slices.Equal(s.Z, o.Z)
 }
 
 // Check validates the shape against a decomposition lattice and global

@@ -25,6 +25,53 @@ func (s *Scheduler) Interrupt() {
 	s.wakeup()
 }
 
+// InterruptCheckpoint aborts the event loop like Interrupt, but asks it
+// to persist the farm into CheckpointDir first (when one is configured)
+// so the abandoned run is restorable. This is the graceful-cancellation
+// path of the public farm API: a canceled context checkpoints, then
+// interrupts. Safe from any goroutine; the checkpoint itself runs on
+// the scheduling goroutine at the loop's next interrupt check.
+func (s *Scheduler) InterruptCheckpoint() {
+	s.mu.Lock()
+	s.interrupted = true
+	s.ckptOnInterrupt = true
+	s.mu.Unlock()
+	s.wakeup()
+}
+
+// ClearInterrupt discards a pending interrupt request no Run consumed.
+// The farm API calls it after Run returns when the run's context was
+// canceled: its cancellation watcher may have fired just as the loop
+// exited on its own, and the stale request must not abort the next Run.
+func (s *Scheduler) ClearInterrupt() {
+	s.mu.Lock()
+	s.interrupted = false
+	s.ckptOnInterrupt = false
+	s.mu.Unlock()
+}
+
+// interruptExit finishes an interrupted Run: when InterruptCheckpoint
+// requested a final save and a checkpoint directory is configured, the
+// farm is persisted before the loop returns ErrInterrupted. The request
+// is consumed — the flags reset — so a later Run of the same scheduler
+// is not poisoned by an interrupt it already honored.
+func (s *Scheduler) interruptExit() error {
+	s.mu.Lock()
+	want := s.ckptOnInterrupt
+	s.interrupted = false
+	s.ckptOnInterrupt = false
+	s.mu.Unlock()
+	if want && s.CheckpointDir != "" {
+		if err := s.Checkpoint(s.CheckpointDir); err != nil {
+			// Keep the sentinel in the chain: callers branching on
+			// errors.Is(err, ErrInterrupted) must still recognize an
+			// interrupted run whose final save failed.
+			return fmt.Errorf("sched: checkpoint on interrupt: %w (%w)", err, ErrInterrupted)
+		}
+	}
+	return ErrInterrupted
+}
+
 // WorkloadFactory rebuilds the functional side of one restored job from
 // its spec: for a real simulation, a fresh core.Job wrapped in a
 // CoreWorkload (whose rank states Restore then loads from the checkpoint
@@ -133,7 +180,11 @@ func (s *Scheduler) Checkpoint(dir string) error {
 	s.ckptSeq++
 	// The manifest now points at the new generation; drop superseded and
 	// never-committed ones so the directory holds exactly one save.
-	return ckpt.Prune(dir, gen)
+	if err := ckpt.Prune(dir, gen); err != nil {
+		return err
+	}
+	s.emit(CheckpointSaved{T: t, Dir: dir, Gen: gen, Jobs: len(m.Jobs)})
+	return nil
 }
 
 // Restore rebuilds a farm from a checkpoint directory: the cluster is

@@ -109,11 +109,17 @@ func TestWeightedBeatsUniformOnMixedPool(t *testing.T) {
 		t.Errorf("equal-speed weighted shape %v differs from uniform %v", eq, UniformShape(spec))
 	}
 	s := New(idlePool(), FIFO, 1)
-	if sh := s.chooseShape(spec, same); !sh.IsZero() {
-		t.Errorf("chooseShape on equal speeds = %v, want zero (uniform)", sh)
+	if sh, _, err := s.chooseShape(spec, same); err != nil || !sh.IsZero() {
+		t.Errorf("chooseShape on equal speeds = %v, %v, want zero (uniform)", sh, err)
 	}
-	if sh := s.chooseShape(spec, hosts); sh.IsZero() {
-		t.Error("chooseShape on the mixed pool stayed uniform")
+	sh, sec, err := s.chooseShape(spec, hosts)
+	if err != nil || sh.IsZero() {
+		t.Errorf("chooseShape on the mixed pool stayed uniform (%v)", err)
+	}
+	// The returned price is the winning shape's own pricing, which
+	// tryPlace reuses instead of re-running the timer.
+	if want, err := s.Timer(spec, sh, hosts); err != nil || sec != want {
+		t.Errorf("chooseShape price %v, want the shape's own pricing %v (%v)", sec, want, err)
 	}
 }
 

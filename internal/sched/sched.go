@@ -26,10 +26,26 @@
 package sched
 
 import (
+	"errors"
 	"fmt"
 	"time"
 
 	"repro/internal/ckpt"
+)
+
+// Sentinel errors returned (wrapped, with job context) by Submit;
+// callers branch on them with errors.Is.
+var (
+	// ErrClosed rejects a submission after Close: the farm is draining.
+	ErrClosed = errors.New("farm is closed to new submissions")
+	// ErrDuplicateID rejects a job ID the farm has already accepted.
+	ErrDuplicateID = errors.New("duplicate job ID")
+	// ErrNoCapacity rejects a job that needs more ranks than the pool
+	// has hosts: no scheduling round could ever place it, so it is
+	// refused at submission instead of stalling the farm later.
+	ErrNoCapacity = errors.New("job needs more ranks than the pool has hosts")
+	// ErrInvalidSpec wraps every JobSpec validation failure.
+	ErrInvalidSpec = errors.New("invalid job spec")
 )
 
 // Policy selects the queueing discipline.
@@ -174,37 +190,39 @@ func (s JobSpec) NodesPerRank() int {
 	return s.Side * s.Side
 }
 
-// Validate checks the spec.
+// Validate checks the spec. Every failure wraps ErrInvalidSpec, so
+// callers distinguish a malformed spec from capacity or lifecycle
+// rejections with errors.Is.
 func (s JobSpec) Validate() error {
 	if s.ID == "" {
-		return fmt.Errorf("sched: job needs an ID")
+		return fmt.Errorf("sched: %w: job needs an ID", ErrInvalidSpec)
 	}
 	// IDs name checkpoint subdirectories; reject at submission what
 	// Checkpoint would otherwise choke on mid-run.
 	if err := ckpt.CheckJobID(s.ID); err != nil {
-		return fmt.Errorf("sched: job %s: %w", s.ID, err)
+		return fmt.Errorf("sched: %w: job %s: %v", ErrInvalidSpec, s.ID, err)
 	}
 	dim, ok := methodDims[s.Method]
 	if !ok {
-		return fmt.Errorf("sched: job %s: unknown method %q", s.ID, s.Method)
+		return fmt.Errorf("sched: %w: job %s: unknown method %q", ErrInvalidSpec, s.ID, s.Method)
 	}
 	if dim == 3 && s.JZ < 1 {
-		return fmt.Errorf("sched: job %s: 3D method needs JZ >= 1", s.ID)
+		return fmt.Errorf("sched: %w: job %s: 3D method needs JZ >= 1", ErrInvalidSpec, s.ID)
 	}
 	if dim == 2 && s.JZ > 1 {
-		return fmt.Errorf("sched: job %s: 2D method with JZ = %d", s.ID, s.JZ)
+		return fmt.Errorf("sched: %w: job %s: 2D method with JZ = %d", ErrInvalidSpec, s.ID, s.JZ)
 	}
 	if s.JX < 1 || s.JY < 1 {
-		return fmt.Errorf("sched: job %s: decomposition %dx%dx%d", s.ID, s.JX, s.JY, s.JZ)
+		return fmt.Errorf("sched: %w: job %s: decomposition %dx%dx%d", ErrInvalidSpec, s.ID, s.JX, s.JY, s.JZ)
 	}
 	if s.Side < 1 {
-		return fmt.Errorf("sched: job %s: subregion side %d", s.ID, s.Side)
+		return fmt.Errorf("sched: %w: job %s: subregion side %d", ErrInvalidSpec, s.ID, s.Side)
 	}
 	if s.Steps < 1 {
-		return fmt.Errorf("sched: job %s: %d steps", s.ID, s.Steps)
+		return fmt.Errorf("sched: %w: job %s: %d steps", ErrInvalidSpec, s.ID, s.Steps)
 	}
 	if s.Submit < 0 {
-		return fmt.Errorf("sched: job %s: negative submit time", s.ID)
+		return fmt.Errorf("sched: %w: job %s: negative submit time", ErrInvalidSpec, s.ID)
 	}
 	return nil
 }

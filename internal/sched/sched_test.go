@@ -1,8 +1,10 @@
 package sched
 
 import (
+	"errors"
 	"math"
 	"reflect"
+	"strings"
 	"testing"
 	"time"
 
@@ -321,13 +323,62 @@ func TestPerfTimerAddsCommunication(t *testing.T) {
 	}
 }
 
-// TestOversizedJobStallsWithError: a job larger than the pool can never
-// run; the farm reports the stall instead of looping forever.
-func TestOversizedJobStallsWithError(t *testing.T) {
-	_, err := Replay(idlePool(), FIFO, 1, nil,
-		[]JobSpec{{ID: "huge", Method: "lb2d", JX: 6, JY: 5, Side: 10, Steps: 10}})
-	if err == nil {
-		t.Fatal("30-rank job on a 25-host pool completed")
+// TestOversizedJobRejectedAtSubmit: a job larger than the pool can
+// never run, so Submit refuses it with ErrNoCapacity instead of letting
+// the farm stall on it later.
+func TestOversizedJobRejectedAtSubmit(t *testing.T) {
+	s := New(idlePool(), FIFO, 1)
+	err := s.Submit(JobSpec{ID: "huge", Method: "lb2d", JX: 6, JY: 5, Side: 10, Steps: 10}, nil)
+	if !errors.Is(err, ErrNoCapacity) {
+		t.Fatalf("30-rank job on a 25-host pool: err = %v, want ErrNoCapacity", err)
+	}
+	// Replay surfaces the same typed rejection.
+	if _, err := Replay(idlePool(), FIFO, 1, nil,
+		[]JobSpec{{ID: "huge", Method: "lb2d", JX: 6, JY: 5, Side: 10, Steps: 10}}); !errors.Is(err, ErrNoCapacity) {
+		t.Fatalf("replay of an oversized job: err = %v, want ErrNoCapacity", err)
+	}
+}
+
+// TestStalledFarmReportsError: a queued job blocked on host conditions
+// (not capacity) trips the stall detector after a simulated week
+// instead of spinning forever — the Run-loop branch the submit-time
+// capacity check no longer reaches.
+func TestStalledFarmReportsError(t *testing.T) {
+	pool := idlePool()
+	for _, h := range pool.Hosts {
+		pool.Reclaim(h) // every user present: nothing is reservable, ever
+	}
+	s := New(pool, FIFO, 1)
+	if err := s.Submit(JobSpec{ID: "blocked", Method: "lb2d", JX: 1, JY: 1, Side: 4, Steps: 1}, nil); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	_, err := s.Run()
+	if err == nil || !strings.Contains(err.Error(), "stalled for a simulated week") {
+		t.Fatalf("fully reclaimed pool: err = %v, want the week-long-stall report", err)
+	}
+}
+
+// TestSubmitTypedErrors: every rejection class is a sentinel checkable
+// with errors.Is — invalid specs, duplicate IDs, capacity, closed farm.
+func TestSubmitTypedErrors(t *testing.T) {
+	s := New(idlePool(), FIFO, 1)
+	ok := JobSpec{ID: "x", Method: "lb2d", JX: 1, JY: 1, Side: 4, Steps: 1}
+	if err := s.Submit(ok, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Submit(ok, nil); !errors.Is(err, ErrDuplicateID) {
+		t.Errorf("duplicate ID: err = %v, want ErrDuplicateID", err)
+	}
+	if err := s.Submit(JobSpec{ID: "bad", Method: "nope", JX: 1, JY: 1, Side: 4, Steps: 1}, nil); !errors.Is(err, ErrInvalidSpec) {
+		t.Errorf("invalid spec: err = %v, want ErrInvalidSpec", err)
+	}
+	if err := (JobSpec{ID: "neg", Method: "lb2d", JX: 1, JY: 1, Side: 4, Steps: 1, Submit: -1}).Validate(); !errors.Is(err, ErrInvalidSpec) {
+		t.Errorf("Validate: err = %v, want ErrInvalidSpec", err)
+	}
+	s.Close()
+	if err := s.Submit(JobSpec{ID: "late", Method: "lb2d", JX: 1, JY: 1, Side: 4, Steps: 1}, nil); !errors.Is(err, ErrClosed) {
+		t.Errorf("submit after Close: err = %v, want ErrClosed", err)
 	}
 }
 
@@ -348,8 +399,8 @@ func TestSubmitValidation(t *testing.T) {
 		{ID: "..", Method: "lb2d", JX: 1, JY: 1, Side: 4, Steps: 1},            // ID escaping the ckpt dir
 	}
 	for i, sp := range bad {
-		if err := s.Submit(sp, nil); err == nil {
-			t.Errorf("bad spec %d accepted: %+v", i, sp)
+		if err := s.Submit(sp, nil); !errors.Is(err, ErrInvalidSpec) {
+			t.Errorf("bad spec %d: err = %v, want ErrInvalidSpec (%+v)", i, err, sp)
 		}
 	}
 	ok := JobSpec{ID: "x", Method: "lb2d", JX: 1, JY: 1, Side: 4, Steps: 1}

@@ -42,8 +42,19 @@ type Scheduler struct {
 	Backfill BackfillMode
 	// Logf, when set, receives the scheduler's debug log lines (EASY
 	// degrading to aggressive backfill when the head's projected start is
-	// incomputable, and the like). Nil is silent.
+	// incomputable, and the like). Nil is silent. The lines are a thin
+	// adapter over the structured event stream: they are the String
+	// renderings of the diagnostic events.
 	Logf func(format string, args ...any)
+
+	// Events, when set, receives every structured Event of the
+	// scheduling rounds — admissions, placements, backfills,
+	// preemptions, migrations, completions, host reclaims, checkpoint
+	// commits, EASY degrades — synchronously on the scheduling
+	// goroutine, in a deterministic order for a fixed seed. The hook
+	// must not block: the public farm package fans the stream out to
+	// subscribers through bounded buffers. Set it before Run.
+	Events func(Event)
 
 	// Scenario, when set, is invoked on the scheduling goroutine at
 	// every multiple of ScenarioEvery of virtual time while the farm has
@@ -74,10 +85,14 @@ type Scheduler struct {
 	// incomputable, so backfill explicitly fell back to aggressive.
 	easyDegraded int
 
-	// start anchors the farm-relative clock: Run sets it to the cluster
-	// time it was entered at, unless Restore pre-set it to the original
-	// run's anchor so a restored farm continues on the same clock.
+	// start anchors the farm-relative clock: the first Run sets it to
+	// the cluster time it was entered at, unless Restore pre-set it to
+	// the original run's anchor so a restored farm continues on the same
+	// clock. Later Runs of the same farm keep the anchor — every job
+	// time (Submit, placedAt, finishAt) is relative to it, so a farm
+	// resumed after an interrupt must not re-base them.
 	start    time.Duration
+	anchored bool
 	restored bool
 	// ckptSeq numbers the save generations inside CheckpointDir; each
 	// Checkpoint writes into a fresh states-<seq> directory so a crash
@@ -92,8 +107,12 @@ type Scheduler struct {
 	closed      bool
 	looping     bool
 	interrupted bool
-	runFailed   bool // last Run exited with an error, reservations still held
-	wake        chan struct{}
+	// ckptOnInterrupt makes the interrupted Run persist the farm into
+	// CheckpointDir before returning ErrInterrupted — the
+	// context-cancellation path of the public farm API.
+	ckptOnInterrupt bool
+	runFailed       bool // last Run exited with an error, reservations still held
+	wake            chan struct{}
 
 	// servedByUser accumulates virtual service time per tenant, the
 	// WeightedFair bookkeeping.
@@ -180,10 +199,19 @@ func New(c *cluster.Cluster, policy Policy, seed int64) *Scheduler {
 // simulation (NullWorkload). Submit is safe from any goroutine and works
 // while Run is active: a live submission whose arrival time has already
 // passed on the farm clock is admitted at the current virtual time.
-// Submissions after Close are rejected.
+//
+// Rejections are typed and checkable with errors.Is: ErrInvalidSpec
+// wraps every spec-validation failure, ErrNoCapacity flags a job that
+// needs more ranks than the pool has hosts (it could never be placed,
+// so it is refused here instead of stalling the farm later), ErrClosed
+// flags submissions after Close, and ErrDuplicateID a reused job ID.
 func (s *Scheduler) Submit(spec JobSpec, w Workload) error {
 	if err := spec.Validate(); err != nil {
 		return err
+	}
+	if n := spec.Ranks(); n > len(s.Cluster.Hosts) {
+		return fmt.Errorf("sched: submit %s: %d ranks on a %d-host pool: %w",
+			spec.ID, n, len(s.Cluster.Hosts), ErrNoCapacity)
 	}
 	if w == nil {
 		w = NullWorkload{}
@@ -191,11 +219,11 @@ func (s *Scheduler) Submit(spec JobSpec, w Workload) error {
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
-		return fmt.Errorf("sched: submit %s: farm is closed", spec.ID)
+		return fmt.Errorf("sched: submit %s: %w", spec.ID, ErrClosed)
 	}
 	if s.ids[spec.ID] {
 		s.mu.Unlock()
-		return fmt.Errorf("sched: duplicate job ID %q", spec.ID)
+		return fmt.Errorf("sched: submit %q: %w", spec.ID, ErrDuplicateID)
 	}
 	s.ids[spec.ID] = true
 	s.pending = append(s.pending, &jobState{
@@ -285,12 +313,28 @@ func (s *Scheduler) Run() (sum metrics.Summary, err error) {
 		return metrics.Summary{}, fmt.Errorf("sched: CheckpointEvery set without a CheckpointDir")
 	}
 	s.mu.Lock()
+	// An interrupted farm may Run again — unless Close already finalized
+	// it: Close after a failed Run hands the placed jobs' reservations
+	// back to the pool, so those jobs can no longer be completed or
+	// migrated in memory. Refuse cleanly here instead of panicking on a
+	// nil reservation rounds later. The check lives in the same critical
+	// section that raises looping, so it serializes with Close's
+	// !looping finalize path.
+	for _, js := range s.running {
+		if js.res == nil {
+			s.mu.Unlock()
+			return metrics.Summary{}, fmt.Errorf(
+				"sched: running job %s holds no reservation (Close finalized this farm after an interrupted run); Restore from a checkpoint instead of re-running",
+				js.spec.ID)
+		}
+	}
 	if s.restored {
 		// A restored farm continues on the interrupted run's clock.
 		s.restored = false
-	} else {
+	} else if !s.anchored {
 		s.start = s.Cluster.Now()
 	}
+	s.anchored = true
 	s.looping = true
 	s.runFailed = false
 	s.mu.Unlock()
@@ -307,7 +351,7 @@ func (s *Scheduler) Run() (sum metrics.Summary, err error) {
 	stallSince := time.Duration(-1)
 	for {
 		if s.isInterrupted() {
-			return metrics.Summary{}, ErrInterrupted
+			return metrics.Summary{}, s.interruptExit()
 		}
 		t := now()
 		s.admit(t)
@@ -366,7 +410,7 @@ func (s *Scheduler) Run() (sum metrics.Summary, err error) {
 		if tick >= 0 && t == tick {
 			s.Scenario(t, s.Cluster)
 			if s.isInterrupted() {
-				return metrics.Summary{}, ErrInterrupted
+				return metrics.Summary{}, s.interruptExit()
 			}
 		}
 		if save >= 0 && t == save {
@@ -386,7 +430,7 @@ func (s *Scheduler) Run() (sum metrics.Summary, err error) {
 // queue wait never counts time before it existed.
 func (s *Scheduler) admit(t time.Duration) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
+	var admitted []*jobState
 	keep := s.pending[:0]
 	for _, js := range s.pending {
 		if js.live && js.spec.Submit < t {
@@ -394,11 +438,18 @@ func (s *Scheduler) admit(t time.Duration) {
 		}
 		if js.spec.Submit <= t {
 			s.queue = append(s.queue, js)
+			admitted = append(admitted, js)
 		} else {
 			keep = append(keep, js)
 		}
 	}
 	s.pending = keep
+	s.mu.Unlock()
+	// Emit outside the lock: the Events hook may fan out to subscriber
+	// bookkeeping of its own.
+	for _, js := range admitted {
+		s.emit(JobQueued{T: t, ID: js.spec.ID})
+	}
 }
 
 // handleReclaims drains the cluster's host event stream and vacates every
@@ -411,6 +462,7 @@ func (s *Scheduler) handleReclaims(t time.Duration) error {
 	for _, ev := range s.Cluster.DrainEvents() {
 		if ev.Kind == cluster.EventReclaim {
 			s.reclaims++
+			s.emit(HostReclaimed{T: ev.At - s.start, Host: ev.Host.Name, Owner: ev.Owner})
 		}
 	}
 	busy := s.Cluster.NeedsMigration(s.Migration)
@@ -471,6 +523,8 @@ func (s *Scheduler) migrateOff(js *jobState, busy []*cluster.Host, t time.Durati
 	js.finishAt = t + time.Duration(js.remaining*sec*float64(time.Second))
 	js.migrations += len(ranks)
 	js.repricings++
+	s.emit(JobMigrated{T: t, ID: js.spec.ID, Ranks: append([]int(nil), ranks...),
+		Hosts: hostNames(repl), StepSec: sec, Finish: js.finishAt})
 	return nil
 }
 
@@ -520,8 +574,7 @@ func (s *Scheduler) scheduleRound(t time.Duration) error {
 						// the round degrades once, however many passes run.)
 						degradeCounted = true
 						s.easyDegraded++
-						s.logf("sched: EASY shadow incomputable for head %s (%d ranks); degrading to aggressive backfill this round",
-							s.queue[0].spec.ID, s.queue[0].spec.Ranks())
+						s.emit(EASYDegraded{T: t, Head: s.queue[0].spec.ID, Ranks: s.queue[0].spec.Ranks()})
 					}
 				}
 				deadline = shadow
@@ -531,9 +584,6 @@ func (s *Scheduler) scheduleRound(t time.Duration) error {
 				return err
 			}
 			if ok {
-				if i > 0 {
-					js.backfilled = true
-				}
 				placed = i
 				break
 			}
@@ -554,7 +604,16 @@ func (s *Scheduler) scheduleRound(t time.Duration) error {
 		if placed < 0 {
 			return nil
 		}
+		js := s.queue[placed]
 		s.queue = append(s.queue[:placed], s.queue[placed+1:]...)
+		if placed > 0 {
+			js.backfilled = true
+			s.emit(JobBackfilled{T: t, ID: js.spec.ID, Hosts: hostNames(js.res.Hosts),
+				StepSec: js.stepSec, Finish: js.finishAt, Weighted: !js.shape.IsZero()})
+		} else {
+			s.emit(JobPlaced{T: t, ID: js.spec.ID, Hosts: hostNames(js.res.Hosts),
+				StepSec: js.stepSec, Finish: js.finishAt, Weighted: !js.shape.IsZero()})
+		}
 	}
 }
 
@@ -601,28 +660,35 @@ func (s *Scheduler) logf(format string, args ...any) {
 	}
 }
 
-// chooseShape picks a fresh placement's decomposition shape: the
-// speed-weighted shape when it strictly beats the uniform one under the
-// scheduler's own step pricing, the zero shape (= uniform splitting)
-// otherwise. Comparing with s.Timer — not a fixed compute bound —
-// matters under PerfTimer, where a weighted shape's longer boundary
-// spans can cost more in halo exchange than its balanced compute saves;
-// the comparison guarantees weighting never prices a placement worse
-// than the identical-spans split would have, whichever timer the farm
-// runs. Equal speeds produce a weighted shape bit-identical to the
-// uniform one, so homogeneous pools always fall through to uniform.
-func (s *Scheduler) chooseShape(spec JobSpec, hosts []*cluster.Host) decomp.Shape {
+// chooseShape picks a fresh placement's decomposition shape and returns
+// it with its per-step price: the speed-weighted shape when it strictly
+// beats the uniform one under the scheduler's own step pricing, the
+// zero shape (= uniform splitting) otherwise. Comparing with s.Timer —
+// not a fixed compute bound — matters under PerfTimer, where a weighted
+// shape's longer boundary spans can cost more in halo exchange than its
+// balanced compute saves; the comparison guarantees weighting never
+// prices a placement worse than the identical-spans split would have,
+// whichever timer the farm runs. Equal speeds produce a weighted shape
+// bit-identical to the uniform one, so homogeneous pools always fall
+// through to uniform. Returning the price lets tryPlace reuse it
+// instead of running the timer — a whole discrete-event simulation
+// under PerfTimer — a second time on the winning shape.
+func (s *Scheduler) chooseShape(spec JobSpec, hosts []*cluster.Host) (decomp.Shape, float64, error) {
 	uni := UniformShape(spec)
-	w, err := WeightedShape(spec, hosts)
-	if err != nil || w.Equal(uni) {
-		return decomp.Shape{}
+	if w, err := WeightedShape(spec, hosts); err == nil && !w.Equal(uni) {
+		wb, errW := s.Timer(spec, w, hosts)
+		ub, errU := s.Timer(spec, uni, hosts)
+		if errW == nil && errU == nil && wb < ub {
+			return w, wb, nil
+		}
+		if errU == nil {
+			return decomp.Shape{}, ub, nil
+		}
+		// The uniform pricing itself failed; re-run it below so the
+		// caller sees the error exactly as a direct pricing would.
 	}
-	wb, errW := s.Timer(spec, w, hosts)
-	ub, errU := s.Timer(spec, uni, hosts)
-	if errW != nil || errU != nil || wb >= ub {
-		return decomp.Shape{}
-	}
-	return w
+	sec, err := s.Timer(spec, decomp.Shape{}, hosts)
+	return decomp.Shape{}, sec, err
 }
 
 // tryPlace reserves hosts for the job and starts (or resumes) it. A
@@ -640,11 +706,12 @@ func (s *Scheduler) tryPlace(js *jobState, t time.Duration, deadline time.Durati
 	if err != nil {
 		return false, nil // capacity shortfall; Reserve shuffles nothing on failure
 	}
-	shape := js.shape
+	shape, sec := js.shape, 0.0
 	if !js.started {
-		shape = s.chooseShape(js.spec, res.Hosts)
+		shape, sec, err = s.chooseShape(js.spec, res.Hosts)
+	} else {
+		sec, err = s.Timer(js.spec, shape, res.Hosts)
 	}
-	sec, err := s.Timer(js.spec, shape, res.Hosts)
 	if err != nil {
 		res.Release()
 		return false, err
@@ -758,6 +825,7 @@ func (s *Scheduler) preempt(v *jobState, t time.Duration) error {
 		}
 	}
 	s.queue = append(s.queue, v)
+	s.emit(JobPreempted{T: t, ID: v.spec.ID, Remaining: v.remaining})
 	return nil
 }
 
@@ -798,34 +866,102 @@ func (s *Scheduler) complete(t time.Duration) error {
 		js.res = nil
 		s.running = append(s.running[:i], s.running[i+1:]...)
 		s.finished = append(s.finished, js)
+		s.emit(JobFinished{T: js.doneAt, ID: js.spec.ID, Job: metricsJob(js)})
 	}
 	return nil
+}
+
+// metricsJob converts a job's accounting into its metrics record.
+func metricsJob(js *jobState) metrics.Job {
+	return metrics.Job{
+		ID:          js.spec.ID,
+		Ranks:       js.spec.Ranks(),
+		Priority:    js.spec.Priority,
+		Submit:      js.spec.Submit,
+		FirstStart:  js.firstStart,
+		Done:        js.doneAt,
+		Served:      js.served,
+		Preemptions: js.preempts,
+		Backfilled:  js.backfilled,
+		Migrations:  js.migrations,
+		Repricings:  js.repricings,
+		Weighted:    !js.shape.IsZero(),
+		Imbalance:   js.imbalance,
+	}
 }
 
 // summary converts the finished jobs into the metrics report.
 func (s *Scheduler) summary() metrics.Summary {
 	jobs := make([]metrics.Job, len(s.finished))
 	for i, js := range s.finished {
-		jobs[i] = metrics.Job{
-			ID:          js.spec.ID,
-			Ranks:       js.spec.Ranks(),
-			Priority:    js.spec.Priority,
-			Submit:      js.spec.Submit,
-			FirstStart:  js.firstStart,
-			Done:        js.doneAt,
-			Served:      js.served,
-			Preemptions: js.preempts,
-			Backfilled:  js.backfilled,
-			Migrations:  js.migrations,
-			Repricings:  js.repricings,
-			Weighted:    !js.shape.IsZero(),
-			Imbalance:   js.imbalance,
-		}
+		jobs[i] = metricsJob(js)
 	}
 	sum := metrics.Summarize(jobs, len(s.Cluster.Hosts))
 	sum.Reclaims = s.reclaims
 	sum.EASYDegraded = s.easyDegraded
 	return sum
+}
+
+// Phase is where a job currently sits in the farm lifecycle.
+type Phase int
+
+const (
+	// PhasePending: submitted, arrival time not yet reached.
+	PhasePending Phase = iota
+	// PhaseQueued: admitted, waiting for placement.
+	PhaseQueued
+	// PhaseRunning: placed on a reservation.
+	PhaseRunning
+	// PhaseFinished: completed; its metrics record is final.
+	PhaseFinished
+)
+
+func (p Phase) String() string {
+	switch p {
+	case PhasePending:
+		return "pending"
+	case PhaseQueued:
+		return "queued"
+	case PhaseRunning:
+		return "running"
+	case PhaseFinished:
+		return "finished"
+	}
+	return fmt.Sprintf("Phase(%d)", int(p))
+}
+
+// JobInfo is one job's identity and phase, with its metrics record once
+// finished.
+type JobInfo struct {
+	ID         string
+	Phase      Phase
+	Metrics    metrics.Job
+	HasMetrics bool
+}
+
+// Jobs lists every job the farm has accepted with its current phase —
+// pending first, then queue order, running, finished. It reads the
+// loop-owned lists, so call it only while Run is not active (the public
+// farm package uses it to rebuild job handles after Restore); during a
+// run, track the event stream instead.
+func (s *Scheduler) Jobs() []JobInfo {
+	var infos []JobInfo
+	s.mu.Lock()
+	for _, js := range s.pending {
+		infos = append(infos, JobInfo{ID: js.spec.ID, Phase: PhasePending})
+	}
+	s.mu.Unlock()
+	for _, js := range s.queue {
+		infos = append(infos, JobInfo{ID: js.spec.ID, Phase: PhaseQueued})
+	}
+	for _, js := range s.running {
+		infos = append(infos, JobInfo{ID: js.spec.ID, Phase: PhaseRunning})
+	}
+	for _, js := range s.finished {
+		infos = append(infos, JobInfo{ID: js.spec.ID, Phase: PhaseFinished,
+			Metrics: metricsJob(js), HasMetrics: true})
+	}
+	return infos
 }
 
 // Replay is the trace-replay convenience: it submits every spec with a
