@@ -58,9 +58,12 @@ func crashRecovery() {
 	fmt.Printf("leaves at the +5 marks; the coordinator dies at t=%v and is restored\n\n", crashAt)
 
 	setup := func(scenario func(time.Duration, *cluster.Cluster)) *farm.Farm {
-		f := farm.New(quietPaperPool(),
+		f, err := farm.New(quietPaperPool(),
 			farm.WithSeed(1),
 			farm.WithScenario(time.Minute, scenario))
+		if err != nil {
+			log.Fatal(err)
+		}
 		for _, sp := range specs {
 			if _, err := f.Submit(sp, nil); err != nil {
 				log.Fatal(err)

@@ -20,7 +20,11 @@
 // aggressive backfill), crash (coordinator crash recovery: checkpoint
 // the farm mid-storm, kill it, restore from disk and finish
 // bit-identically), hetero (uniform vs speed-weighted decomposition on
-// mixed-model placements; exits non-zero on an imbalance regression).
+// mixed-model placements; exits non-zero on an imbalance regression),
+// sweep (the scenario engine: seeded workload specs fanned across seeds
+// and policy/backfill knobs, every cell trace-verified — exits non-zero
+// on a replay divergence — emitting the summary table as text and JSON;
+// see -sweep-seeds and -sweep-out).
 // `-list` prints the available names sorted, one per line.
 package main
 
@@ -67,11 +71,13 @@ func main() {
 		"reclaim":     reclaimStorm,
 		"crash":       crashRecovery,
 		"hetero":      hetero,
+		"sweep":       sweep,
 	}
 	order := []string{
 		"speed-table", "mtable", "fig5", "fig6", "fig7", "fig8", "fig9",
 		"fig10", "fig11", "fig12", "fig13", "ablation", "migration", "convergence",
 		"networks", "balancing", "farm", "reclaim", "crash", "hetero",
+		"sweep",
 	}
 	if *list {
 		names := make([]string, 0, len(all))

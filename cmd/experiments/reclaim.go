@@ -47,7 +47,7 @@ func reclaimStorm() {
 		"backfill", "makespan", "mean wait", "head wait", "util", "bfills", "reclaims", "migr", "repriced")
 	for _, mode := range []farm.BackfillMode{farm.BackfillEASY, farm.BackfillAggressive} {
 		reclaimAt := make(map[*cluster.Host]time.Duration)
-		f := farm.New(quietPaperPool(),
+		f, err := farm.New(quietPaperPool(),
 			farm.WithSeed(1),
 			farm.WithBackfill(mode),
 			farm.WithScenario(time.Minute, func(t time.Duration, c *cluster.Cluster) {
@@ -68,6 +68,9 @@ func reclaimStorm() {
 					}
 				}
 			}))
+		if err != nil {
+			log.Fatal(err)
+		}
 		var head *farm.Job
 		for _, sp := range stormMix() {
 			j, err := f.Submit(sp, nil)

@@ -114,7 +114,7 @@ func main() {
 	// Fifteen virtual minutes in — after the burst has drained and the
 	// simulation resumed — a user reclaims one of its workstations.
 	reclaimed := false
-	f := farm.New(pool,
+	f, err := farm.New(pool,
 		farm.WithPolicy(farm.Priority),
 		farm.WithSeed(42),
 		farm.WithCheckpoint(ckptDir, 4*time.Minute, 0),
@@ -130,6 +130,9 @@ func main() {
 				}
 			}
 		}))
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	// Tap the structured decision stream before running; the interesting
 	// lifecycle events are printed after the run, in emission order.

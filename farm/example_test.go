@@ -15,9 +15,12 @@ func ExampleNew() {
 	pool := farm.NewPaperCluster()
 	pool.Advance(30 * time.Minute) // everyone idle: the whole pool is free
 
-	f := farm.New(pool,
+	f, err := farm.New(pool,
 		farm.WithPolicy(farm.FIFO),
 		farm.WithSeed(1))
+	if err != nil {
+		log.Fatal(err)
+	}
 	job, err := f.Submit(farm.JobSpec{
 		ID: "demo", Method: "lb2d", JX: 2, JY: 2, Side: 40, Steps: 1000,
 	}, nil) // nil workload: replay the spec without running a simulation
@@ -44,7 +47,10 @@ func ExampleJob_Wait() {
 	pool := farm.NewPaperCluster()
 	pool.Advance(30 * time.Minute)
 
-	f := farm.New(pool)
+	f, err := farm.New(pool)
+	if err != nil {
+		log.Fatal(err)
+	}
 	job, err := f.Submit(farm.JobSpec{
 		ID: "demo", Method: "fd2d", JX: 1, JY: 1, Side: 32, Steps: 500,
 	}, nil)

@@ -77,11 +77,19 @@ type runState struct {
 // New builds a farm over the cluster. Defaults: FIFO policy, EASY
 // backfill, the compute-only step timer, seed 1, no checkpointing, no
 // scenario. Override any of them with options.
-func New(c *cluster.Cluster, opts ...Option) *Farm {
+//
+// Misconfigured options are rejected here, wrapping ErrInvalidSpec so
+// callers branch with errors.Is — notably a WithScenario whose interval
+// is not positive, which would otherwise arm a callback that never
+// fires.
+func New(c *cluster.Cluster, opts ...Option) (*Farm, error) {
 	cfg := newConfig(opts)
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
 	s := sched.New(c, cfg.policy, cfg.seed)
 	cfg.apply(s)
-	return wrap(s)
+	return wrap(s), nil
 }
 
 // Restore rebuilds a farm from a checkpoint directory written by a
@@ -104,6 +112,9 @@ func New(c *cluster.Cluster, opts ...Option) *Farm {
 // coordinator had not yet emitted.
 func Restore(dir string, c *cluster.Cluster, reg WorkloadRegistry, opts ...Option) (*Farm, error) {
 	cfg := newConfig(opts)
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
 	if cfg.policySet || cfg.backfillSet || cfg.seedSet {
 		return nil, fmt.Errorf("farm: restore: policy, backfill and seed come from the checkpoint manifest; drop WithPolicy/WithBackfill/WithSeed")
 	}
@@ -284,7 +295,10 @@ func Replay(c *cluster.Cluster, policy Policy, seed int64, timer StepTimer, spec
 	if timer != nil {
 		opts = append(opts, WithTimer(timer))
 	}
-	f := New(c, opts...)
+	f, err := New(c, opts...)
+	if err != nil {
+		return Summary{}, err
+	}
 	for _, sp := range specs {
 		if _, err := f.Submit(sp, nil); err != nil {
 			return Summary{}, err

@@ -20,6 +20,43 @@ func quietPool() *cluster.Cluster {
 	return c
 }
 
+// mustNew builds a farm from options the test knows are valid.
+func mustNew(t testing.TB, c *cluster.Cluster, opts ...farm.Option) *farm.Farm {
+	t.Helper()
+	f, err := farm.New(c, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+// TestNewRejectsInvalidOptions: misconfigured options are refused at
+// construction with ErrInvalidSpec — notably a scenario interval that
+// is not positive, which the event loop would otherwise arm and never
+// fire (the old silent behavior).
+func TestNewRejectsInvalidOptions(t *testing.T) {
+	noop := func(time.Duration, *cluster.Cluster) {}
+	cases := []struct {
+		name string
+		opts []farm.Option
+	}{
+		{"scenario-zero-interval", []farm.Option{farm.WithScenario(0, noop)}},
+		{"scenario-negative-interval", []farm.Option{farm.WithScenario(-time.Minute, noop)}},
+		{"scenario-nil-callback", []farm.Option{farm.WithScenario(time.Minute, nil)}},
+		{"checkpoint-negative-interval", []farm.Option{farm.WithCheckpoint(t.TempDir(), -time.Second, 0)}},
+		{"checkpoint-interval-without-dir", []farm.Option{farm.WithCheckpoint("", time.Minute, 0)}},
+	}
+	for _, tc := range cases {
+		if _, err := farm.New(quietPool(), tc.opts...); !errors.Is(err, farm.ErrInvalidSpec) {
+			t.Errorf("%s: New returned %v, want ErrInvalidSpec", tc.name, err)
+		}
+	}
+	// Restore applies the same option validation before touching disk.
+	if _, err := farm.Restore(t.TempDir(), quietPool(), nil, farm.WithScenario(0, noop)); !errors.Is(err, farm.ErrInvalidSpec) {
+		t.Errorf("Restore with zero scenario interval: %v, want ErrInvalidSpec", err)
+	}
+}
+
 // stormMix is the reclaim-storm workload of the experiments: a 20-rank
 // head behind a stream of 8-rank jobs.
 func stormMix() []farm.JobSpec {
@@ -67,7 +104,7 @@ func collectTrace(t *testing.T, opts ...farm.Option) ([]string, farm.Summary) {
 		farm.WithSeed(1),
 		farm.WithScenario(time.Minute, storm),
 	}, opts...)
-	f := farm.New(quietPool(), opts...)
+	f := mustNew(t, quietPool(), opts...)
 	sub := f.SubscribeBuffered(1 << 14)
 	for _, sp := range stormMix() {
 		if _, err := f.Submit(sp, nil); err != nil {
@@ -132,7 +169,7 @@ func TestEventTraceAcrossRestore(t *testing.T) {
 	saved := false
 	var ref *farm.Farm
 	refTraceRun := func() []string {
-		ref = farm.New(quietPool(),
+		ref = mustNew(t, quietPool(),
 			farm.WithSeed(1),
 			farm.WithScenario(time.Minute, func(tt time.Duration, c *cluster.Cluster) {
 				storm(tt, c)
@@ -165,7 +202,7 @@ func TestEventTraceAcrossRestore(t *testing.T) {
 	dir := t.TempDir()
 	crashed := false
 	var doomed *farm.Farm
-	doomed = farm.New(quietPool(),
+	doomed = mustNew(t, quietPool(),
 		farm.WithSeed(1),
 		farm.WithScenario(time.Minute, func(tt time.Duration, c *cluster.Cluster) {
 			storm(tt, c)
@@ -236,7 +273,7 @@ func TestFarmMatchesRawScheduler(t *testing.T) {
 			t.Fatal(err)
 		}
 
-		f := farm.New(quietPool(),
+		f := mustNew(t, quietPool(),
 			farm.WithSeed(1),
 			farm.WithBackfill(mode),
 			farm.WithScenario(time.Minute, storm))
@@ -260,7 +297,7 @@ func TestFarmMatchesRawScheduler(t *testing.T) {
 // block the scheduling round — overflow events are dropped and counted,
 // and the buffered prefix stays readable.
 func TestSlowSubscriberDoesNotStall(t *testing.T) {
-	f := farm.New(quietPool(), farm.WithSeed(1),
+	f := mustNew(t, quietPool(), farm.WithSeed(1),
 		farm.WithScenario(time.Minute, storm))
 	sub := f.SubscribeBuffered(2)
 	for _, sp := range stormMix() {
@@ -296,7 +333,7 @@ func TestSlowSubscriberDoesNotStall(t *testing.T) {
 // TestSubmitTypedErrors: the public surface exposes the sentinel
 // rejections for errors.Is branching.
 func TestSubmitTypedErrors(t *testing.T) {
-	f := farm.New(quietPool())
+	f := mustNew(t, quietPool())
 	ok := farm.JobSpec{ID: "x", Method: "lb2d", JX: 1, JY: 1, Side: 4, Steps: 1}
 	if _, err := f.Submit(ok, nil); err != nil {
 		t.Fatal(err)
@@ -316,7 +353,7 @@ func TestSubmitTypedErrors(t *testing.T) {
 	}
 	// A rejected ID is not burned: the huge job's slot is reusable on a
 	// pool that fits it (fresh farm, since this one is drained).
-	f2 := farm.New(quietPool())
+	f2 := mustNew(t, quietPool())
 	if _, err := f2.Submit(farm.JobSpec{ID: "huge", Method: "lb2d", JX: 5, JY: 5, Side: 4, Steps: 1}, nil); err != nil {
 		t.Errorf("25-rank job on the 25-host pool rejected: %v", err)
 	}
@@ -325,7 +362,7 @@ func TestSubmitTypedErrors(t *testing.T) {
 // TestJobHandleLifecycle: the handle tracks status through the farm,
 // Wait unblocks on completion, and Metrics carries the final record.
 func TestJobHandleLifecycle(t *testing.T) {
-	f := farm.New(quietPool(), farm.WithSeed(1))
+	f := mustNew(t, quietPool(), farm.WithSeed(1))
 	j, err := f.Submit(farm.JobSpec{
 		ID: "solo", Method: "lb2d", JX: 2, JY: 2, Side: 40, Steps: 100,
 	}, nil)
@@ -363,7 +400,7 @@ func TestJobHandleLifecycle(t *testing.T) {
 	}
 	canceled, cancelNow := context.WithCancel(context.Background())
 	cancelNow()
-	f2 := farm.New(quietPool())
+	f2 := mustNew(t, quietPool())
 	jj, err := f2.Submit(farm.JobSpec{ID: "later", Method: "lb2d", JX: 1, JY: 1, Side: 4, Steps: 1}, nil)
 	if err != nil {
 		t.Fatal(err)
@@ -377,7 +414,7 @@ func TestJobHandleLifecycle(t *testing.T) {
 // job, Wait reports ErrStopped (wrapping the run's error) instead of
 // hanging — including a Wait that started before Run was ever called.
 func TestWaitAfterInterruptedRun(t *testing.T) {
-	f := farm.New(quietPool())
+	f := mustNew(t, quietPool())
 	j, err := f.Submit(farm.JobSpec{ID: "orphan", Method: "lb2d", JX: 2, JY: 2, Side: 40, Steps: 1000}, nil)
 	if err != nil {
 		t.Fatal(err)
@@ -413,7 +450,7 @@ func TestWaitAfterInterruptedRun(t *testing.T) {
 // never cancelled.
 func TestRunContextCancelCheckpoints(t *testing.T) {
 	newStorm := func(dir string) *farm.Farm {
-		f := farm.New(quietPool(),
+		f := mustNew(t, quietPool(),
 			farm.WithSeed(1),
 			farm.WithCheckpoint(dir, 0, 0), // cancellation saves only
 			farm.WithScenario(time.Minute, storm))
@@ -460,7 +497,7 @@ func TestRunContextCancelCheckpoints(t *testing.T) {
 // over arrives pre-closed instead of blocking its reader forever; one
 // made before the next Run observes that run and closes with it.
 func TestSubscribeAfterRunIsClosed(t *testing.T) {
-	f := farm.New(quietPool())
+	f := mustNew(t, quietPool())
 	if _, err := f.Submit(farm.JobSpec{ID: "a", Method: "lb2d", JX: 1, JY: 1, Side: 4, Steps: 1}, nil); err != nil {
 		t.Fatal(err)
 	}
@@ -481,7 +518,7 @@ func TestSubscribeAfterRunIsClosed(t *testing.T) {
 // honors it — a later Run of the same farm starts clean instead of
 // being aborted by the stale request.
 func TestRunAgainAfterInterrupt(t *testing.T) {
-	f := farm.New(quietPool())
+	f := mustNew(t, quietPool())
 	j, err := f.Submit(farm.JobSpec{ID: "late-bloomer", Method: "lb2d", JX: 2, JY: 2, Side: 40, Steps: 100}, nil)
 	if err != nil {
 		t.Fatal(err)
@@ -506,7 +543,7 @@ func TestRunAgainAfterInterrupt(t *testing.T) {
 func TestRunAfterDrainFinalized(t *testing.T) {
 	interrupted := false
 	var f *farm.Farm
-	f = farm.New(quietPool(),
+	f = mustNew(t, quietPool(),
 		farm.WithSeed(1),
 		farm.WithScenario(time.Minute, func(tt time.Duration, c *cluster.Cluster) {
 			if tt >= 2*time.Minute && !interrupted {
@@ -537,7 +574,7 @@ func TestRunResumesBitIdentical(t *testing.T) {
 	run := func(interrupt bool) farm.Summary {
 		interrupted := false
 		var f *farm.Farm
-		f = farm.New(quietPool(),
+		f = mustNew(t, quietPool(),
 			farm.WithSeed(1),
 			farm.WithScenario(time.Minute, func(tt time.Duration, c *cluster.Cluster) {
 				storm(tt, c)
@@ -575,7 +612,7 @@ func TestRunResumesBitIdentical(t *testing.T) {
 // to the checkpoint manifest; Restore refuses overrides.
 func TestRestoreRejectsManifestOptions(t *testing.T) {
 	dir := t.TempDir()
-	f := farm.New(quietPool(), farm.WithSeed(7))
+	f := mustNew(t, quietPool(), farm.WithSeed(7))
 	if _, err := f.Submit(farm.JobSpec{ID: "a", Method: "lb2d", JX: 1, JY: 1, Side: 4, Steps: 10}, nil); err != nil {
 		t.Fatal(err)
 	}

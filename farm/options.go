@@ -1,6 +1,7 @@
 package farm
 
 import (
+	"fmt"
 	"time"
 
 	"repro/internal/cluster"
@@ -38,6 +39,28 @@ func newConfig(opts []Option) config {
 		o(&cfg)
 	}
 	return cfg
+}
+
+// validate rejects option combinations the event loop would otherwise
+// accept and silently ignore. Every failure wraps ErrInvalidSpec.
+func (cfg config) validate() error {
+	if cfg.scenario != nil && cfg.scenarioEvery <= 0 {
+		return fmt.Errorf("farm: %w: WithScenario interval %v is not positive; the callback would never fire",
+			ErrInvalidSpec, cfg.scenarioEvery)
+	}
+	if cfg.scenario == nil && cfg.scenarioEvery > 0 {
+		return fmt.Errorf("farm: %w: WithScenario interval %v with a nil callback",
+			ErrInvalidSpec, cfg.scenarioEvery)
+	}
+	if cfg.ckptEvery < 0 {
+		return fmt.Errorf("farm: %w: WithCheckpoint interval %v is negative",
+			ErrInvalidSpec, cfg.ckptEvery)
+	}
+	if cfg.ckptEvery > 0 && cfg.ckptDir == "" {
+		return fmt.Errorf("farm: %w: WithCheckpoint interval %v without a directory",
+			ErrInvalidSpec, cfg.ckptEvery)
+	}
+	return nil
 }
 
 // apply transfers the configured knobs onto the scheduler. Policy and
@@ -101,9 +124,13 @@ func WithCheckpoint(dir string, every, gap time.Duration) Option {
 // WithScenario invokes fn on the scheduling goroutine at every multiple
 // of every of virtual time while the farm has work. Experiments script
 // user activity through it (cluster.Reclaim / cluster.UserGone storms)
-// and may Submit new jobs or call Farm.Checkpoint / Farm.Interrupt. Not
-// persisted in checkpoints — re-attach the same stateless function to a
-// restored farm or its virtual-time grid changes.
+// and may Submit new jobs or call Farm.Checkpoint / Farm.Interrupt;
+// farm/workload compiles declarative scenario scripts onto this hook.
+// The interval must be positive when fn is set: New and Restore reject
+// every <= 0 with ErrInvalidSpec instead of arming a callback that
+// never fires. Not persisted in checkpoints — re-attach the same
+// stateless function to a restored farm or its virtual-time grid
+// changes.
 func WithScenario(every time.Duration, fn func(t time.Duration, c *cluster.Cluster)) Option {
 	return func(cfg *config) { cfg.scenarioEvery = every; cfg.scenario = fn }
 }

@@ -111,6 +111,17 @@ type (
 	JobMetrics = metrics.Job
 )
 
+// RNG is the farm's serializable random source: SplitMix64, whose
+// entire state is one word (State/SetState), with Derive splitting off
+// independent deterministic substreams per label. The scheduler drives
+// its randomized placement scan with it, and farm/workload draws seeded
+// arrival processes and job distributions from it, so a (spec, seed)
+// pair is bit-reproducible.
+type RNG = sched.SplitMix
+
+// NewRNG returns a seeded RNG.
+func NewRNG(seed int64) *RNG { return sched.NewSplitMix(seed) }
+
 // StepTimer estimates the wall-clock seconds one integration step of a
 // job takes on a given placement; the farm prices every placement,
 // resumption and migration through it.

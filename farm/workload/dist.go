@@ -1,0 +1,164 @@
+package workload
+
+import (
+	"math"
+
+	"repro/farm"
+)
+
+// The draws below are classical inverse-transform and rejection
+// samplers built on the SplitMix64 uniform stream. They deliberately
+// avoid math/rand: every consumed word comes from the one serializable
+// generator, so a (spec, seed) pair fixes the entire draw sequence and
+// the generated workload is bit-reproducible.
+
+// expDraw returns an Exponential(1) draw (mean 1) by inversion.
+func expDraw(r *farm.RNG) float64 {
+	// 1-U is in (0, 1], so the log is finite.
+	return -math.Log(1 - r.Float64())
+}
+
+// normDraw returns a standard normal draw via Box-Muller. Both uniforms
+// are consumed and the spare is discarded, keeping the generator's
+// one-word state the only state there is.
+func normDraw(r *farm.RNG) float64 {
+	u := 1 - r.Float64() // (0, 1]
+	v := r.Float64()
+	return math.Sqrt(-2*math.Log(u)) * math.Cos(2*math.Pi*v)
+}
+
+// gammaDraw returns a Gamma(shape, 1) draw (mean shape) using
+// Marsaglia & Tsang's squeeze method, with the standard boost for
+// shape < 1.
+func gammaDraw(r *farm.RNG, shape float64) float64 {
+	if shape <= 0 {
+		return expDraw(r)
+	}
+	if shape < 1 {
+		// Gamma(k) = Gamma(k+1) * U^(1/k).
+		return gammaDraw(r, shape+1) * math.Pow(1-r.Float64(), 1/shape)
+	}
+	d := shape - 1.0/3.0
+	c := 1 / math.Sqrt(9*d)
+	for {
+		x := normDraw(r)
+		v := 1 + c*x
+		if v <= 0 {
+			continue
+		}
+		v = v * v * v
+		u := 1 - r.Float64()
+		if u < 1-0.0331*x*x*x*x {
+			return d * v
+		}
+		if math.Log(u) < 0.5*x*x+d*(1-v+math.Log(v)) {
+			return d * v
+		}
+	}
+}
+
+// weibullDraw returns a Weibull(shape, 1) draw by inversion (scale 1,
+// mean Gamma(1 + 1/shape)).
+func weibullDraw(r *farm.RNG, shape float64) float64 {
+	if shape <= 0 {
+		shape = 1
+	}
+	return math.Pow(-math.Log(1-r.Float64()), 1/shape)
+}
+
+// interArrival returns one inter-arrival draw normalized to mean 1, so
+// the process choice changes only the stream's variability.
+func interArrival(r *farm.RNG, a Arrivals) float64 {
+	shape := a.Shape
+	if shape <= 0 {
+		shape = 1
+	}
+	switch a.Process {
+	case Gamma:
+		// Gamma(k, 1) has mean k; divide it out.
+		return gammaDraw(r, shape) / shape
+	case Weibull:
+		// Weibull(k, 1) has mean Gamma(1 + 1/k); divide it out.
+		return weibullDraw(r, shape) / math.Gamma(1+1/shape)
+	default: // Poisson
+		return expDraw(r)
+	}
+}
+
+// stepsDraw returns a job's integration-step count: log-normal around
+// the median with spread sigma, clamped.
+func stepsDraw(r *farm.RNG, d StepsDist) int {
+	n := d.Median
+	if d.Sigma > 0 {
+		n = int(math.Round(float64(d.Median) * math.Exp(d.Sigma*normDraw(r))))
+	}
+	lo, hi := d.Min, d.Max
+	if lo <= 0 {
+		lo = (d.Median + 3) / 4
+	}
+	if hi <= 0 {
+		hi = 4 * d.Median
+	}
+	if lo < 1 {
+		lo = 1
+	}
+	if n < lo {
+		n = lo
+	}
+	if n > hi {
+		n = hi
+	}
+	return n
+}
+
+// sideDraw returns a uniform subregion side in [SideMin, SideMax].
+func sideDraw(r *farm.RNG, d JobDist) int {
+	if d.SideMax <= d.SideMin {
+		return d.SideMin
+	}
+	return d.SideMin + r.Intn(d.SideMax-d.SideMin+1)
+}
+
+// shapeDraw returns a weighted choice among the shape candidates.
+func shapeDraw(r *farm.RNG, shapes []ShapeChoice) ShapeChoice {
+	total := 0.0
+	for _, sc := range shapes {
+		total += weightOf(sc.Weight)
+	}
+	x := r.Float64() * total
+	for _, sc := range shapes {
+		x -= weightOf(sc.Weight)
+		if x < 0 {
+			return sc
+		}
+	}
+	return shapes[len(shapes)-1]
+}
+
+// priorityDraw returns a weighted choice among the priority candidates;
+// an empty list is priority 0.
+func priorityDraw(r *farm.RNG, prios []IntChoice) int {
+	if len(prios) == 0 {
+		return 0
+	}
+	total := 0.0
+	for _, p := range prios {
+		total += weightOf(p.Weight)
+	}
+	x := r.Float64() * total
+	for _, p := range prios {
+		x -= weightOf(p.Weight)
+		if x < 0 {
+			return p.Value
+		}
+	}
+	return prios[len(prios)-1].Value
+}
+
+// weightOf normalizes a non-positive weight to 1.
+func weightOf(w float64) float64 {
+	if w <= 0 {
+		return 1
+	}
+	return w
+}

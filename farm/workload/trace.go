@@ -1,0 +1,399 @@
+package workload
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"sync"
+	"time"
+
+	"repro/farm"
+)
+
+// Trace file identification. A trace is self-describing: Format names
+// the schema family and Version its revision, and readers reject
+// anything they do not understand instead of misparsing it.
+const (
+	TraceFormat  = "farm-workload-trace"
+	TraceVersion = 1
+)
+
+// Trace sentinels, checkable with errors.Is.
+var (
+	// ErrBadTrace: the trace is unreadable — wrong format or version,
+	// or it names a timer or pool this process has not registered.
+	ErrBadTrace = errors.New("unsupported trace")
+	// ErrTraceDiverged: a Verify re-run produced a different event
+	// stream than the trace recorded.
+	ErrTraceDiverged = errors.New("trace diverged")
+)
+
+// Trace is one recorded farm run, v1: the full scheduling decision
+// stream (the farm.Subscribe surface, one stable String line per
+// event) together with everything needed to reproduce it — the job
+// list, the scheduling knobs, the cluster-side scenario and the
+// checkpoint grid. Durations serialize as nanoseconds.
+//
+// Two replays are supported. Verify re-runs the recorded configuration
+// and asserts the stream is byte-identical — the regression pin.
+// ReplayOpenLoop re-submits the recorded arrivals open-loop against
+// different knobs (policy, backfill, seed, timer, pool) — the
+// policy-comparison path. Timers and pools are functions, so the trace
+// carries registry names (RegisterTimer, RegisterPool), not values;
+// checkpoint directories are operator-local and deliberately absent
+// (event String forms omit them too), so Verify checkpoints into a
+// throwaway directory on the recorded virtual-time grid.
+type Trace struct {
+	Format  string `json:"format"`
+	Version int    `json:"version"`
+	Name    string `json:"name"`
+
+	Seed            int64         `json:"seed"`
+	Policy          string        `json:"policy"`
+	Backfill        string        `json:"backfill"`
+	Timer           string        `json:"timer,omitempty"`
+	Pool            string        `json:"pool,omitempty"`
+	CheckpointEvery time.Duration `json:"checkpoint_every,omitempty"`
+	CheckpointGap   time.Duration `json:"checkpoint_gap,omitempty"`
+	Scenario        *Scenario     `json:"scenario,omitempty"`
+
+	Jobs   []farm.JobSpec `json:"jobs"`
+	Events []string       `json:"events"`
+}
+
+// RunConfig is the knob set of one recorded or replayed run. The zero
+// value is the farm's defaults: seed 0, FIFO, EASY backfill, the
+// compute-only timer, the quiet paper pool, no checkpointing.
+type RunConfig struct {
+	Seed     int64
+	Policy   farm.Policy
+	Backfill farm.BackfillMode
+	// Timer and Pool are registry names (RegisterTimer, RegisterPool);
+	// empty means TimerCompute and PoolPaperQuiet.
+	Timer string
+	Pool  string
+	// CheckpointEvery arms periodic checkpointing into CheckpointDir
+	// (Record requires a directory when the interval is set; Verify
+	// supplies its own throwaway directory). The interval is recorded in
+	// the trace: CheckpointSaved events sit on its virtual-time grid.
+	CheckpointEvery time.Duration
+	CheckpointGap   time.Duration
+	CheckpointDir   string
+}
+
+// Built-in registry names.
+const (
+	// TimerCompute is the communication-free step timer, the farm's
+	// default.
+	TimerCompute = "compute"
+	// PoolPaper is the paper's 25-host pool at time zero.
+	PoolPaper = "paper"
+	// PoolPaperQuiet is the paper pool after 30 idle minutes — load
+	// averages decayed, every user idle — the experiments' common
+	// starting condition and the default.
+	PoolPaperQuiet = "paper-quiet"
+)
+
+// The timer and pool registries. Traces reference both by name so a
+// trace file stays a pure data artifact; a process replaying a trace
+// that uses a custom timer or pool registers it first under the
+// recorded name.
+var (
+	regMu  sync.Mutex
+	timers = map[string]farm.StepTimer{
+		TimerCompute: farm.ComputeTimer,
+	}
+	pools = map[string]func() *farm.Cluster{
+		PoolPaper: farm.NewPaperCluster,
+		PoolPaperQuiet: func() *farm.Cluster {
+			c := farm.NewPaperCluster()
+			c.Advance(30 * time.Minute)
+			return c
+		},
+	}
+)
+
+// RegisterTimer names a step timer for traces. Registering a name
+// twice replaces it.
+func RegisterTimer(name string, t farm.StepTimer) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	timers[name] = t
+}
+
+// RegisterPool names a pool constructor for traces. The constructor
+// must build a fresh, identically shaped pool on every call.
+func RegisterPool(name string, fn func() *farm.Cluster) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	pools[name] = fn
+}
+
+// timerFor resolves a timer name ("" = compute).
+func timerFor(name string) (farm.StepTimer, error) {
+	if name == "" {
+		name = TimerCompute
+	}
+	regMu.Lock()
+	t, ok := timers[name]
+	regMu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("workload: %w: timer %q is not registered", ErrBadTrace, name)
+	}
+	return t, nil
+}
+
+// poolFor resolves a pool name ("" = quiet paper pool) to a fresh pool.
+func poolFor(name string) (*farm.Cluster, error) {
+	if name == "" {
+		name = PoolPaperQuiet
+	}
+	regMu.Lock()
+	fn, ok := pools[name]
+	regMu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("workload: %w: pool %q is not registered", ErrBadTrace, name)
+	}
+	return fn(), nil
+}
+
+// build assembles the farm for one run: pool and timer from the
+// registries, the scenario compiled onto WithScenario, checkpointing on
+// the given grid.
+func build(cfg RunConfig, sc *Scenario) (*farm.Farm, error) {
+	pool, err := poolFor(cfg.Pool)
+	if err != nil {
+		return nil, err
+	}
+	timer, err := timerFor(cfg.Timer)
+	if err != nil {
+		return nil, err
+	}
+	opts := []farm.Option{
+		farm.WithPolicy(cfg.Policy),
+		farm.WithBackfill(cfg.Backfill),
+		farm.WithSeed(cfg.Seed),
+		farm.WithTimer(timer),
+	}
+	if sc != nil {
+		every, fn, err := sc.Compile()
+		if err != nil {
+			return nil, err
+		}
+		opts = append(opts, farm.WithScenario(every, fn))
+	}
+	if cfg.CheckpointEvery > 0 {
+		if cfg.CheckpointDir == "" {
+			return nil, fmt.Errorf("workload: %w: checkpoint interval %v without a directory", farm.ErrInvalidSpec, cfg.CheckpointEvery)
+		}
+		opts = append(opts, farm.WithCheckpoint(cfg.CheckpointDir, cfg.CheckpointEvery, cfg.CheckpointGap))
+	}
+	return farm.New(pool, opts...)
+}
+
+// run submits the jobs, drains the farm and runs it to completion,
+// collecting the full event stream as String lines.
+func run(f *farm.Farm, jobs []farm.JobSpec) (farm.Summary, []string, error) {
+	// The subscriber drains concurrently and the buffer rides out its
+	// scheduling hiccups, so the stream is complete (Dropped is checked,
+	// not assumed).
+	sub := f.SubscribeBuffered(1 << 14)
+	var lines []string
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for ev := range sub.Events() {
+			lines = append(lines, ev.String())
+		}
+	}()
+	fail := func(err error) (farm.Summary, []string, error) {
+		sub.Close()
+		<-done
+		return farm.Summary{}, nil, err
+	}
+	for _, sp := range jobs {
+		if _, err := f.Submit(sp, nil); err != nil {
+			return fail(fmt.Errorf("workload: submit %s: %w", sp.ID, err))
+		}
+	}
+	f.Drain()
+	sum, err := f.Run(context.Background())
+	if err != nil {
+		return fail(fmt.Errorf("workload: run: %w", err))
+	}
+	// A drained Run closed the stream; the drain goroutine has the tail.
+	<-done
+	if d := sub.Dropped(); d > 0 {
+		return farm.Summary{}, nil, fmt.Errorf("workload: event stream dropped %d events; trace incomplete", d)
+	}
+	return sum, lines, nil
+}
+
+// Record generates the spec's jobs at cfg.Seed, runs them under cfg
+// with the spec's scenario attached, and returns the run's trace and
+// metrics. The trace is closed over everything that shaped the stream,
+// so Verify can re-run it bit-identically later, in another process.
+func Record(spec *Spec, cfg RunConfig) (*Trace, farm.Summary, error) {
+	jobs, err := Generate(spec, cfg.Seed)
+	if err != nil {
+		return nil, farm.Summary{}, err
+	}
+	f, err := build(cfg, spec.Scenario)
+	if err != nil {
+		return nil, farm.Summary{}, err
+	}
+	sum, lines, err := run(f, jobs)
+	if err != nil {
+		return nil, farm.Summary{}, err
+	}
+	return &Trace{
+		Format:          TraceFormat,
+		Version:         TraceVersion,
+		Name:            spec.Name,
+		Seed:            cfg.Seed,
+		Policy:          cfg.Policy.String(),
+		Backfill:        cfg.Backfill.String(),
+		Timer:           cfg.Timer,
+		Pool:            cfg.Pool,
+		CheckpointEvery: cfg.CheckpointEvery,
+		CheckpointGap:   cfg.CheckpointGap,
+		Scenario:        spec.Scenario,
+		Jobs:            jobs,
+		Events:          lines,
+	}, sum, nil
+}
+
+// config rebuilds the recorded RunConfig (parsing the policy and
+// backfill names); the checkpoint directory is the caller's.
+func (tr *Trace) config(ckptDir string) (RunConfig, error) {
+	policy, err := farm.ParsePolicy(tr.Policy)
+	if err != nil {
+		return RunConfig{}, fmt.Errorf("workload: %w: %v", ErrBadTrace, err)
+	}
+	backfill, err := farm.ParseBackfill(tr.Backfill)
+	if err != nil {
+		return RunConfig{}, fmt.Errorf("workload: %w: %v", ErrBadTrace, err)
+	}
+	return RunConfig{
+		Seed:            tr.Seed,
+		Policy:          policy,
+		Backfill:        backfill,
+		Timer:           tr.Timer,
+		Pool:            tr.Pool,
+		CheckpointEvery: tr.CheckpointEvery,
+		CheckpointGap:   tr.CheckpointGap,
+		CheckpointDir:   ckptDir,
+	}, nil
+}
+
+// Verify re-runs the trace's recorded configuration — same jobs, seed,
+// knobs, scenario and checkpoint grid, a fresh pool from the registry —
+// and asserts the event stream is byte-identical to the recording.
+// A mismatch wraps ErrTraceDiverged and pinpoints the first divergent
+// event. This is the regression pin CI runs: any drift in scheduling
+// behavior, event ordering or trace rendering fails it.
+func (tr *Trace) Verify() error {
+	if err := tr.check(); err != nil {
+		return err
+	}
+	ckptDir := ""
+	if tr.CheckpointEvery > 0 {
+		// The recorded run checkpointed, so this run must too — the
+		// CheckpointSaved events are part of the stream. The directory is
+		// not (String forms omit it); any throwaway location does.
+		dir, err := os.MkdirTemp("", "trace-verify-")
+		if err != nil {
+			return fmt.Errorf("workload: verify: %w", err)
+		}
+		defer os.RemoveAll(dir)
+		ckptDir = dir
+	}
+	cfg, err := tr.config(ckptDir)
+	if err != nil {
+		return err
+	}
+	f, err := build(cfg, tr.Scenario)
+	if err != nil {
+		return err
+	}
+	_, lines, err := run(f, tr.Jobs)
+	if err != nil {
+		return err
+	}
+	return diffEvents(tr.Events, lines)
+}
+
+// diffEvents compares two event streams line by line and reports the
+// first divergence as an ErrTraceDiverged.
+func diffEvents(want, got []string) error {
+	n := len(want)
+	if len(got) < n {
+		n = len(got)
+	}
+	for i := 0; i < n; i++ {
+		if got[i] != want[i] {
+			return fmt.Errorf("workload: %w: event %d:\n  recorded: %s\n  replayed: %s", ErrTraceDiverged, i, want[i], got[i])
+		}
+	}
+	if len(got) != len(want) {
+		return fmt.Errorf("workload: %w: recorded %d events, replayed %d", ErrTraceDiverged, len(want), len(got))
+	}
+	return nil
+}
+
+// ReplayOpenLoop re-submits the trace's recorded arrivals open-loop
+// under different knobs: the job list (IDs, shapes, sizes, arrival
+// times) is held fixed while cfg chooses the policy, backfill mode,
+// seed, timer and pool. The trace's cluster-side scenario stays
+// attached — the recorded world, a different scheduler. This is the
+// policy-comparison path: one recorded workload, a table of summaries.
+func ReplayOpenLoop(tr *Trace, cfg RunConfig) (farm.Summary, error) {
+	if err := tr.check(); err != nil {
+		return farm.Summary{}, err
+	}
+	f, err := build(cfg, tr.Scenario)
+	if err != nil {
+		return farm.Summary{}, err
+	}
+	sum, _, err := run(f, tr.Jobs)
+	return sum, err
+}
+
+// check rejects traces this package does not understand.
+func (tr *Trace) check() error {
+	if tr.Format != TraceFormat {
+		return fmt.Errorf("workload: %w: format %q, want %q", ErrBadTrace, tr.Format, TraceFormat)
+	}
+	if tr.Version != TraceVersion {
+		return fmt.Errorf("workload: %w: version %d, this build reads version %d", ErrBadTrace, tr.Version, TraceVersion)
+	}
+	return nil
+}
+
+// WriteFile serializes the trace as indented JSON.
+func (tr *Trace) WriteFile(path string) error {
+	data, err := json.MarshalIndent(tr, "", "  ")
+	if err != nil {
+		return fmt.Errorf("workload: encode trace: %w", err)
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// ReadTrace loads and checks a trace file; unknown formats or versions
+// are rejected with ErrBadTrace rather than misparsed.
+func ReadTrace(path string) (*Trace, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("workload: read trace: %w", err)
+	}
+	var tr Trace
+	if err := json.Unmarshal(data, &tr); err != nil {
+		return nil, fmt.Errorf("workload: %w: %v", ErrBadTrace, err)
+	}
+	if err := tr.check(); err != nil {
+		return nil, err
+	}
+	return &tr, nil
+}

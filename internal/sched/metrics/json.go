@@ -1,0 +1,89 @@
+package metrics
+
+import (
+	"encoding/json"
+	"time"
+)
+
+// The JSON schema of Job and Summary is part of the experiments'
+// machine-readable output (`cmd/experiments -exp=sweep` emits tables of
+// it), so it is pinned here explicitly rather than derived from the Go
+// structs: fields can be added to the structs freely, but the emitted
+// names and units below only change with a schema version bump in the
+// emitting tool. Durations serialize as float seconds (the unit every
+// figure of the paper uses), not Go's nanosecond ints.
+
+// jobJSON is Job's pinned wire form.
+type jobJSON struct {
+	ID          string  `json:"id"`
+	Ranks       int     `json:"ranks"`
+	Priority    int     `json:"priority"`
+	SubmitSec   float64 `json:"submit_s"`
+	WaitSec     float64 `json:"wait_s"`
+	DoneSec     float64 `json:"done_s"`
+	ServedSec   float64 `json:"served_s"`
+	Preemptions int     `json:"preemptions"`
+	Backfilled  bool    `json:"backfilled"`
+	Migrations  int     `json:"migrations"`
+	Repricings  int     `json:"repricings"`
+	Weighted    bool    `json:"weighted"`
+	Imbalance   float64 `json:"imbalance"`
+}
+
+// summaryJSON is Summary's pinned wire form.
+type summaryJSON struct {
+	Jobs          []jobJSON `json:"jobs"`
+	MakespanSec   float64   `json:"makespan_s"`
+	MeanWaitSec   float64   `json:"mean_wait_s"`
+	MaxWaitSec    float64   `json:"max_wait_s"`
+	Utilization   float64   `json:"utilization"`
+	Preemptions   int       `json:"preemptions"`
+	Backfills     int       `json:"backfills"`
+	Migrations    int       `json:"migrations"`
+	Repricings    int       `json:"repricings"`
+	Reclaims      int       `json:"reclaims"`
+	MeanImbalance float64   `json:"mean_imbalance"`
+	MaxImbalance  float64   `json:"max_imbalance"`
+	Weighted      int       `json:"weighted"`
+	EASYDegraded  int       `json:"easy_degraded"`
+}
+
+func sec(d time.Duration) float64 { return d.Seconds() }
+
+// MarshalJSON renders the summary in its pinned wire form.
+func (s Summary) MarshalJSON() ([]byte, error) {
+	jobs := make([]jobJSON, len(s.Jobs))
+	for i, j := range s.Jobs {
+		jobs[i] = jobJSON{
+			ID:          j.ID,
+			Ranks:       j.Ranks,
+			Priority:    j.Priority,
+			SubmitSec:   sec(j.Submit),
+			WaitSec:     sec(j.Wait()),
+			DoneSec:     sec(j.Done),
+			ServedSec:   sec(j.Served),
+			Preemptions: j.Preemptions,
+			Backfilled:  j.Backfilled,
+			Migrations:  j.Migrations,
+			Repricings:  j.Repricings,
+			Weighted:    j.Weighted,
+			Imbalance:   j.Imbalance,
+		}
+	}
+	return json.Marshal(summaryJSON{
+		Jobs:          jobs,
+		MakespanSec:   sec(s.Makespan),
+		MeanWaitSec:   sec(s.MeanWait),
+		MaxWaitSec:    sec(s.MaxWait),
+		Utilization:   s.Utilization,
+		Preemptions:   s.Preemptions,
+		Backfills:     s.Backfills,
+		Migrations:    s.Migrations,
+		Repricings:    s.Repricings,
+		Reclaims:      s.Reclaims,
+		MeanImbalance: s.MeanImbalance,
+		MaxImbalance:  s.MaxImbalance,
+		Weighted:      s.Weighted,
+		EASYDegraded:  s.EASYDegraded,
+	})
+}

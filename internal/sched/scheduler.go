@@ -76,7 +76,7 @@ type Scheduler struct {
 	CheckpointGap   time.Duration
 
 	rng      *rand.Rand
-	src      *splitmix // rng's source, persisted by Checkpoint
+	src      *SplitMix // rng's source, persisted by Checkpoint
 	queue    []*jobState
 	running  []*jobState
 	finished []*jobState
@@ -179,7 +179,7 @@ func (s *Scheduler) creditService(j *jobState, d time.Duration) {
 // migration policies, the compute-only step timer, EASY backfill, and a
 // seeded RNG for the randomized placement scan.
 func New(c *cluster.Cluster, policy Policy, seed int64) *Scheduler {
-	src := newSplitmix(seed)
+	src := NewSplitMix(seed)
 	return &Scheduler{
 		Cluster:      c,
 		Policy:       policy,
