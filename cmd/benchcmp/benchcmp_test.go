@@ -1,0 +1,259 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// TestSnapshotEncodingPinned pins the committed snapshot schema byte for
+// byte, the same way internal/sched/metrics pins its JSON reports. If
+// this test fails you changed the BENCH_main.json format: bump
+// formatVersion deliberately and regenerate the baseline, or revert.
+func TestSnapshotEncodingPinned(t *testing.T) {
+	s := &Snapshot{
+		Format:  formatName,
+		Version: formatVersion,
+		Goos:    "linux",
+		Goarch:  "amd64",
+		CPU:     "Example CPU @ 2.00GHz",
+		Benchmarks: []Benchmark{
+			{Name: "BenchmarkZ/sub", Iters: 3, Metrics: map[string]float64{"ns/op": 1250, "nodes/s": 2.5e6}},
+			{Name: "BenchmarkA", Iters: 1, Metrics: map[string]float64{"ns/cell": 41.5}},
+		},
+	}
+	got, err := s.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `{
+  "format": "benchcmp",
+  "version": 1,
+  "goos": "linux",
+  "goarch": "amd64",
+  "cpu": "Example CPU @ 2.00GHz",
+  "benchmarks": [
+    {
+      "name": "BenchmarkA",
+      "iters": 1,
+      "metrics": {
+        "ns/cell": 41.5
+      }
+    },
+    {
+      "name": "BenchmarkZ/sub",
+      "iters": 3,
+      "metrics": {
+        "nodes/s": 2500000,
+        "ns/op": 1250
+      }
+    }
+  ]
+}
+`
+	if string(got) != want {
+		t.Errorf("snapshot encoding changed:\n got: %s\nwant: %s", got, want)
+	}
+	back, err := DecodeSnapshot(got)
+	if err != nil {
+		t.Fatalf("round trip: %v", err)
+	}
+	if len(back.Benchmarks) != 2 || back.Benchmarks[0].Name != "BenchmarkA" {
+		t.Errorf("round trip lost benchmarks: %+v", back.Benchmarks)
+	}
+}
+
+// TestNormalizeTest2JSON feeds the tool the stream shape `go test -json
+// -bench` actually emits — result lines split across output events,
+// attributed to a Test field without the -procs suffix — plus noise
+// lines that must be skipped.
+func TestNormalizeTest2JSON(t *testing.T) {
+	stream := strings.Join([]string{
+		`{"Action":"start","Package":"repro"}`,
+		`{"Action":"output","Package":"repro","Output":"goos: linux\n"}`,
+		`{"Action":"output","Package":"repro","Output":"goarch: amd64\n"}`,
+		`{"Action":"output","Package":"repro","Output":"cpu: Example CPU @ 2.00GHz\n"}`,
+		`{"Action":"run","Package":"repro","Test":"BenchmarkStepKernels"}`,
+		`{"Action":"output","Package":"repro","Test":"BenchmarkStepKernels/LB2D/w1","Output":"BenchmarkStepKernels/LB2D/w1-8 \t"}`,
+		`{"Action":"output","Package":"repro","Test":"BenchmarkStepKernels/LB2D/w1","Output":"       1\t  52000000 ns/op\t        41.50 ns/cell\t  24100000 nodes/s\n"}`,
+		`{"Action":"output","Package":"repro","Test":"BenchmarkStepKernels/LB2D/w4","Output":"BenchmarkStepKernels/LB2D/w4-8 \t       1\t  15000000 ns/op\t        12.20 ns/cell\t  81900000 nodes/s\n"}`,
+		`{"Action":"output","Package":"repro","Output":"PASS\n"}`,
+		`{"Action":"output","Package":"repro","Output":"ok  \trepro\t2.1s\n"}`,
+		`{"Action":"pass","Package":"repro"}`,
+	}, "\n")
+	snap, err := Normalize([]byte(stream))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Goos != "linux" || snap.Goarch != "amd64" || snap.CPU != "Example CPU @ 2.00GHz" {
+		t.Errorf("machine context = %q/%q/%q", snap.Goos, snap.Goarch, snap.CPU)
+	}
+	if len(snap.Benchmarks) != 2 {
+		t.Fatalf("got %d benchmarks, want 2: %+v", len(snap.Benchmarks), snap.Benchmarks)
+	}
+	byName := map[string]Benchmark{}
+	for _, b := range snap.Benchmarks {
+		byName[b.Name] = b
+	}
+	w1, ok := byName["BenchmarkStepKernels/LB2D/w1"]
+	if !ok {
+		t.Fatalf("missing w1 (procs suffix not stripped?): %+v", snap.Benchmarks)
+	}
+	if w1.Metrics["ns/cell"] != 41.5 || w1.Metrics["nodes/s"] != 24100000 {
+		t.Errorf("w1 metrics = %v", w1.Metrics)
+	}
+	if w4 := byName["BenchmarkStepKernels/LB2D/w4"]; w4.Iters != 1 || w4.Metrics["ns/cell"] != 12.2 {
+		t.Errorf("w4 = %+v", w4)
+	}
+}
+
+// TestNormalizePlainText covers the fallback path for a raw `go test
+// -bench` text stream, including the single-core case where Go appends
+// no -procs suffix.
+func TestNormalizePlainText(t *testing.T) {
+	text := "goos: linux\ngoarch: arm64\n" +
+		"BenchmarkFoo-8 \t 100\t 250 ns/op\n" +
+		"BenchmarkBar \t 7\t 9 ns/op\t 3 B/op\t 0 allocs/op\n" +
+		"BenchmarkHalo/side-100 \t 2\t 500 ns/op\n" +
+		"PASS\nok  \trepro\t0.1s\n"
+	snap, err := Normalize([]byte(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]float64{
+		"BenchmarkFoo":           250,
+		"BenchmarkBar":           9,
+		"BenchmarkHalo/side-100": 500, // plain-text stripProcs: "-100" is ambiguous on 1-core machines
+	}
+	if len(snap.Benchmarks) != len(want) {
+		t.Fatalf("got %d benchmarks: %+v", len(snap.Benchmarks), snap.Benchmarks)
+	}
+	for _, b := range snap.Benchmarks {
+		if v, ok := want[b.Name]; !ok {
+			// The heuristic strips the last numeric segment; "side-100"
+			// without a procs suffix becomes "side". JSON streams avoid
+			// this via the Test field; plain text accepts it.
+			if b.Name != "BenchmarkHalo/side" {
+				t.Errorf("unexpected name %q", b.Name)
+			}
+		} else if b.Metrics["ns/op"] != v {
+			t.Errorf("%s ns/op = %v, want %v", b.Name, b.Metrics["ns/op"], v)
+		}
+	}
+	if _, err := Normalize([]byte(`{"Action":"oops"`)); err == nil {
+		t.Error("truncated JSON line accepted")
+	}
+}
+
+func snapOf(t *testing.T, benches ...Benchmark) *Snapshot {
+	t.Helper()
+	return &Snapshot{Format: formatName, Version: formatVersion, Benchmarks: benches}
+}
+
+// TestCompareGatesRegressions is the acceptance check for the CI gate:
+// an injected synthetic regression on the gated ns/cell metric must
+// fail, improvements and informational drift must not.
+func TestCompareGatesRegressions(t *testing.T) {
+	gate := regexp.MustCompile(`^ns/cell$`)
+	base := snapOf(t,
+		Benchmark{Name: "BenchmarkStepKernels/LB2D/w1", Iters: 1, Metrics: map[string]float64{"ns/cell": 40, "nodes/s": 1e6}},
+		Benchmark{Name: "BenchmarkStepKernels/FD2D/w1", Iters: 1, Metrics: map[string]float64{"ns/cell": 30}},
+	)
+
+	// Injected 2x slowdown on LB2D: beyond the 0.5 tolerance -> regression.
+	cur := snapOf(t,
+		Benchmark{Name: "BenchmarkStepKernels/LB2D/w1", Iters: 1, Metrics: map[string]float64{"ns/cell": 80, "nodes/s": 5e5}},
+		Benchmark{Name: "BenchmarkStepKernels/FD2D/w1", Iters: 1, Metrics: map[string]float64{"ns/cell": 33}},
+	)
+	regs := Regressions(Compare(base, cur, gate, 0.5))
+	if len(regs) != 1 || regs[0].Bench != "BenchmarkStepKernels/LB2D/w1" || regs[0].Unit != "ns/cell" {
+		t.Fatalf("regressions = %+v, want the injected LB2D ns/cell slowdown", regs)
+	}
+
+	// Within tolerance and improvements: clean.
+	cur = snapOf(t,
+		Benchmark{Name: "BenchmarkStepKernels/LB2D/w1", Iters: 1, Metrics: map[string]float64{"ns/cell": 55, "nodes/s": 2e6}},
+		Benchmark{Name: "BenchmarkStepKernels/FD2D/w1", Iters: 1, Metrics: map[string]float64{"ns/cell": 10}},
+	)
+	if regs := Regressions(Compare(base, cur, gate, 0.5)); len(regs) != 0 {
+		t.Errorf("clean run flagged: %+v", regs)
+	}
+
+	// A gated benchmark vanishing from the current run fails too.
+	cur = snapOf(t,
+		Benchmark{Name: "BenchmarkStepKernels/LB2D/w1", Iters: 1, Metrics: map[string]float64{"ns/cell": 40}},
+	)
+	regs = Regressions(Compare(base, cur, gate, 0.5))
+	if len(regs) != 1 || !regs[0].Missing || regs[0].Bench != "BenchmarkStepKernels/FD2D/w1" {
+		t.Errorf("missing gated benchmark not flagged: %+v", regs)
+	}
+
+	// Ungated units never regress: nodes/s halving above was not flagged,
+	// and a wide-open gate flags it.
+	cur = snapOf(t,
+		Benchmark{Name: "BenchmarkStepKernels/LB2D/w1", Iters: 1, Metrics: map[string]float64{"ns/cell": 40, "nodes/s": 1e5}},
+		Benchmark{Name: "BenchmarkStepKernels/FD2D/w1", Iters: 1, Metrics: map[string]float64{"ns/cell": 30}},
+	)
+	regs = Regressions(Compare(base, cur, regexp.MustCompile(`.`), 0.5))
+	if len(regs) != 1 || regs[0].Unit != "nodes/s" {
+		t.Errorf("higher-better gate: %+v", regs)
+	}
+}
+
+// TestRunEndToEnd drives the CLI surface: normalize a stream to a file,
+// compare clean (exit nil), then compare against an injected regression
+// (errRegression) with the summary table appended.
+func TestRunEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	stream := `{"Action":"output","Package":"repro","Test":"BenchmarkStepKernels/LB2D/w1","Output":"BenchmarkStepKernels/LB2D/w1-4 \t 1\t 100 ns/op\t 40.0 ns/cell\n"}`
+	streamPath := filepath.Join(dir, "raw.json")
+	if err := os.WriteFile(streamPath, []byte(stream), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	basePath := filepath.Join(dir, "base.json")
+	var out bytes.Buffer
+	if err := run([]string{"-normalize", "-in", streamPath, "-out", basePath}, &out); err != nil {
+		t.Fatal(err)
+	}
+
+	// Same snapshot on both sides: clean.
+	if err := run([]string{"-baseline", basePath, "-current", basePath}, &out); err != nil {
+		t.Fatalf("self-compare failed: %v", err)
+	}
+
+	// Inject a synthetic 3x ns/cell regression and require failure.
+	slow := strings.Replace(stream, "40.0 ns/cell", "120.0 ns/cell", 1)
+	slowRaw := filepath.Join(dir, "slow-raw.json")
+	if err := os.WriteFile(slowRaw, []byte(slow), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	slowPath := filepath.Join(dir, "slow.json")
+	if err := run([]string{"-normalize", "-in", slowRaw, "-out", slowPath}, &out); err != nil {
+		t.Fatal(err)
+	}
+	summaryPath := filepath.Join(dir, "summary.md")
+	out.Reset()
+	err := run([]string{"-baseline", basePath, "-current", slowPath, "-summary", summaryPath}, &out)
+	if _, ok := err.(errRegression); !ok {
+		t.Fatalf("injected regression not fatal: err=%v, output:\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "REGRESSION BenchmarkStepKernels/LB2D/w1 ns/cell") {
+		t.Errorf("missing regression line:\n%s", out.String())
+	}
+	md, err2 := os.ReadFile(summaryPath)
+	if err2 != nil {
+		t.Fatal(err2)
+	}
+	if !strings.Contains(string(md), "**FAIL**") || !strings.Contains(string(md), "| benchmark |") {
+		t.Errorf("summary table missing FAIL row:\n%s", md)
+	}
+
+	// Raw streams are rejected by the compare path: the handshake forces
+	// -normalize first.
+	if err := run([]string{"-baseline", basePath, "-current", streamPath}, &out); err == nil {
+		t.Error("raw test2json stream accepted as a snapshot")
+	}
+}

@@ -1,0 +1,169 @@
+package main
+
+import (
+	"fmt"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// Direction classifies how a metric's value relates to goodness.
+type direction int
+
+const (
+	lowerBetter direction = iota
+	higherBetter
+	informational
+)
+
+// metricDirection maps a benchmark unit to its goodness direction by
+// convention: times and allocation costs shrink when things improve,
+// rates grow, and anything unrecognized is reported but never gated.
+func metricDirection(unit string) direction {
+	switch {
+	case strings.HasPrefix(unit, "ns/"),
+		unit == "B/op", unit == "allocs/op",
+		strings.HasSuffix(unit, "-s"), unit == "s":
+		return lowerBetter
+	case strings.HasSuffix(unit, "/s"):
+		return higherBetter
+	default:
+		return informational
+	}
+}
+
+// Delta is one (benchmark, metric) comparison row.
+type Delta struct {
+	Bench   string
+	Unit    string
+	Base    float64
+	Cur     float64
+	Ratio   float64 // (cur-base)/base; 0 when base is 0
+	Gated   bool
+	Regress bool
+	Missing bool // gated benchmark present in baseline, absent in current
+}
+
+// Compare diffs current against baseline. A metric is gated when its
+// unit matches the gate expression and its direction is known; a gated
+// metric that moves beyond tolerance in the bad direction — or a
+// baseline benchmark that vanished from the current run while gated —
+// is a regression. Improvements and informational metrics only show up
+// in the table.
+func Compare(baseline, current *Snapshot, gate *regexp.Regexp, tolerance float64) []Delta {
+	curByName := map[string]Benchmark{}
+	for _, b := range current.Benchmarks {
+		curByName[b.Name] = b
+	}
+	var deltas []Delta
+	for _, base := range baseline.Benchmarks {
+		cur, ok := curByName[base.Name]
+		if !ok {
+			// The baseline pins the trajectory: a benchmark silently
+			// disappearing would let its numbers rot unnoticed.
+			gated := false
+			for unit := range base.Metrics {
+				if gate.MatchString(unit) && metricDirection(unit) != informational {
+					gated = true
+				}
+			}
+			deltas = append(deltas, Delta{
+				Bench: base.Name, Gated: gated, Regress: gated, Missing: true,
+			})
+			continue
+		}
+		units := make([]string, 0, len(base.Metrics))
+		for unit := range base.Metrics {
+			units = append(units, unit)
+		}
+		sort.Strings(units)
+		for _, unit := range units {
+			bv := base.Metrics[unit]
+			cv, has := cur.Metrics[unit]
+			dir := metricDirection(unit)
+			gated := has && gate.MatchString(unit) && dir != informational
+			d := Delta{Bench: base.Name, Unit: unit, Base: bv, Cur: cv, Gated: gated}
+			if !has {
+				d.Missing = true
+				d.Regress = gate.MatchString(unit) && dir != informational
+				d.Gated = d.Regress
+				deltas = append(deltas, d)
+				continue
+			}
+			if bv != 0 {
+				d.Ratio = (cv - bv) / bv
+			}
+			if gated {
+				switch dir {
+				case lowerBetter:
+					d.Regress = d.Ratio > tolerance
+				case higherBetter:
+					d.Regress = d.Ratio < -tolerance
+				}
+			}
+			deltas = append(deltas, d)
+		}
+	}
+	return deltas
+}
+
+// Regressions filters the rows that should fail the gate.
+func Regressions(deltas []Delta) []Delta {
+	var out []Delta
+	for _, d := range deltas {
+		if d.Regress {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// MarkdownTable renders the deltas as a GitHub-flavoured markdown table
+// for the CI step summary.
+func MarkdownTable(deltas []Delta, tolerance float64) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "| benchmark | metric | baseline | current | delta | status |\n")
+	fmt.Fprintf(&sb, "|---|---|---:|---:|---:|---|\n")
+	for _, d := range deltas {
+		status := ""
+		switch {
+		case d.Missing:
+			status = "missing from current run"
+			if d.Regress {
+				status = "**FAIL** (gated benchmark missing)"
+			}
+			fmt.Fprintf(&sb, "| %s | %s | %s | — | — | %s |\n",
+				d.Bench, orDash(d.Unit), num(d.Base), status)
+			continue
+		case d.Regress:
+			status = fmt.Sprintf("**FAIL** (beyond ±%.0f%%)", tolerance*100)
+		case d.Gated:
+			status = "ok"
+		default:
+			status = "info"
+		}
+		fmt.Fprintf(&sb, "| %s | %s | %s | %s | %+.1f%% | %s |\n",
+			d.Bench, d.Unit, num(d.Base), num(d.Cur), d.Ratio*100, status)
+	}
+	return sb.String()
+}
+
+func orDash(s string) string {
+	if s == "" {
+		return "—"
+	}
+	return s
+}
+
+// num renders a metric value compactly: integers stay integral, small
+// fractions keep enough digits to be meaningful.
+func num(v float64) string {
+	switch {
+	case v == float64(int64(v)) && v < 1e15:
+		return fmt.Sprintf("%d", int64(v))
+	case v >= 100:
+		return fmt.Sprintf("%.1f", v)
+	default:
+		return fmt.Sprintf("%.4g", v)
+	}
+}

@@ -1,0 +1,126 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+// errRegression is the compare-mode failure: deltas were produced and
+// written, but a gated metric regressed, so the process must exit 1.
+type errRegression struct{ n int }
+
+func (e errRegression) Error() string {
+	return fmt.Sprintf("benchcmp: %d benchmark regression(s) beyond tolerance", e.n)
+}
+
+func run(argv []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("benchcmp", flag.ContinueOnError)
+	var (
+		normalize = fs.Bool("normalize", false, "normalize a `go test -json -bench` stream into a snapshot")
+		in        = fs.String("in", "-", "input stream for -normalize (file or - for stdin)")
+		out       = fs.String("out", "-", "output snapshot for -normalize (file or - for stdout)")
+		baseline  = fs.String("baseline", "", "baseline snapshot (committed trajectory)")
+		current   = fs.String("current", "", "current snapshot (this run)")
+		tolerance = fs.Float64("tolerance", 0.5, "allowed fractional change of gated metrics in the bad direction")
+		gate      = fs.String("gate", `^ns/cell$`, "regexp over metric units; matching known-direction metrics fail the run on regression")
+		summary   = fs.String("summary", "", "append the markdown delta table to this file (e.g. $GITHUB_STEP_SUMMARY)")
+	)
+	if err := fs.Parse(argv); err != nil {
+		return err
+	}
+
+	if *normalize {
+		data, err := readInput(*in)
+		if err != nil {
+			return err
+		}
+		snap, err := Normalize(data)
+		if err != nil {
+			return err
+		}
+		enc, err := snap.Encode()
+		if err != nil {
+			return err
+		}
+		return writeOutput(*out, enc, stdout)
+	}
+
+	if *baseline == "" || *current == "" {
+		return fmt.Errorf("benchcmp: need -normalize, or both -baseline and -current")
+	}
+	gateRe, err := regexp.Compile(*gate)
+	if err != nil {
+		return fmt.Errorf("benchcmp: bad -gate: %w", err)
+	}
+	baseData, err := os.ReadFile(*baseline)
+	if err != nil {
+		return err
+	}
+	curData, err := os.ReadFile(*current)
+	if err != nil {
+		return err
+	}
+	baseSnap, err := DecodeSnapshot(baseData)
+	if err != nil {
+		return fmt.Errorf("%s: %w", *baseline, err)
+	}
+	curSnap, err := DecodeSnapshot(curData)
+	if err != nil {
+		return fmt.Errorf("%s: %w", *current, err)
+	}
+
+	deltas := Compare(baseSnap, curSnap, gateRe, *tolerance)
+	table := MarkdownTable(deltas, *tolerance)
+	fmt.Fprint(stdout, table)
+	if *summary != "" {
+		f, err := os.OpenFile(*summary, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+		if err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(f, "### Benchmark trajectory\n\n%s\n", table); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	if regs := Regressions(deltas); len(regs) > 0 {
+		for _, d := range regs {
+			if d.Missing {
+				fmt.Fprintf(stdout, "REGRESSION %s: gated benchmark missing from current run\n", d.Bench)
+				continue
+			}
+			fmt.Fprintf(stdout, "REGRESSION %s %s: %s -> %s (%+.1f%%)\n",
+				d.Bench, d.Unit, num(d.Base), num(d.Cur), d.Ratio*100)
+		}
+		return errRegression{n: len(regs)}
+	}
+	fmt.Fprintf(stdout, "benchcmp: %d delta rows, no gated regressions\n", len(deltas))
+	return nil
+}
+
+func readInput(path string) ([]byte, error) {
+	if path == "-" {
+		return io.ReadAll(os.Stdin)
+	}
+	return os.ReadFile(path)
+}
+
+func writeOutput(path string, data []byte, stdout io.Writer) error {
+	if path == "-" {
+		_, err := stdout.Write(data)
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}

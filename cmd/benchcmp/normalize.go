@@ -1,0 +1,156 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// testEvent is the subset of the test2json event schema benchmarks
+// appear in (`go doc test2json`). A benchmark's result line arrives as
+// Output events attributed to the benchmark's synthetic Test — often
+// split across several events ("BenchmarkX \t", then the measurements) —
+// so Normalize reassembles logical lines per Test before parsing.
+type testEvent struct {
+	Action  string
+	Package string
+	Test    string
+	Output  string
+}
+
+// Normalize parses a `go test -json -bench` stream (or, as a
+// convenience, plain `go test -bench` text) into a Snapshot. Lines that
+// are not benchmark results — PASS, ok, RUN headers — are skipped;
+// goos/goarch/cpu headers are captured as machine context. For JSON
+// streams the benchmark name is taken from the event's Test field, which
+// never carries the -GOMAXPROCS suffix, so snapshots from machines with
+// different core counts align by construction.
+func Normalize(data []byte) (*Snapshot, error) {
+	s := &Snapshot{Format: formatName, Version: formatVersion}
+	seen := map[string]int{}
+	add := func(b Benchmark) {
+		if i, dup := seen[b.Name]; dup {
+			// -count > 1 reruns: keep the last result (one entry per
+			// name; CI runs -benchtime 1x -count 1).
+			s.Benchmarks[i] = b
+			return
+		}
+		seen[b.Name] = len(s.Benchmarks)
+		s.Benchmarks = append(s.Benchmarks, b)
+	}
+	// Partial output per package/test, reassembled into logical lines.
+	partial := map[string]string{}
+	handleText := func(key, text string) {
+		acc := partial[key] + text
+		for {
+			nl := strings.IndexByte(acc, '\n')
+			if nl < 0 {
+				break
+			}
+			line := acc[:nl]
+			acc = acc[nl+1:]
+			if v, ok := strings.CutPrefix(line, "goos: "); ok {
+				s.Goos = v
+				continue
+			}
+			if v, ok := strings.CutPrefix(line, "goarch: "); ok {
+				s.Goarch = v
+				continue
+			}
+			if v, ok := strings.CutPrefix(line, "cpu: "); ok {
+				s.CPU = v
+				continue
+			}
+			if b, ok := parseBenchLine(line); ok {
+				add(b)
+			}
+		}
+		partial[key] = acc
+	}
+
+	sc := bufio.NewScanner(bytes.NewReader(data))
+	sc.Buffer(make([]byte, 0, 1024*1024), 4*1024*1024)
+	jsonStream := false
+	for sc.Scan() {
+		line := sc.Bytes()
+		trimmed := bytes.TrimSpace(line)
+		if len(trimmed) == 0 {
+			continue
+		}
+		if trimmed[0] == '{' {
+			var ev testEvent
+			if err := json.Unmarshal(trimmed, &ev); err != nil {
+				return nil, fmt.Errorf("benchcmp: bad test2json line %q: %w", string(trimmed), err)
+			}
+			jsonStream = true
+			if ev.Action != "output" {
+				continue
+			}
+			handleText(ev.Package+"\x00"+ev.Test, ev.Output)
+			continue
+		}
+		if jsonStream {
+			return nil, fmt.Errorf("benchcmp: mixed JSON and plain text at %q", string(trimmed))
+		}
+		handleText("", string(line)+"\n")
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	for key, rest := range partial {
+		if rest != "" {
+			handleText(key, "\n") // flush a final unterminated line
+		}
+	}
+	return s, nil
+}
+
+// parseBenchLine parses one reassembled benchmark result line:
+//
+//	BenchmarkName[-procs] <iters> <value> <unit> [<value> <unit>...]
+//
+// Bare "BenchmarkX" progress lines have no measurement pairs and report
+// !ok.
+func parseBenchLine(text string) (Benchmark, bool) {
+	if !strings.HasPrefix(text, "Benchmark") {
+		return Benchmark{}, false
+	}
+	f := strings.Fields(text)
+	// Need name, iters and at least one value+unit pair, in full pairs.
+	if len(f) < 4 || len(f)%2 != 0 {
+		return Benchmark{}, false
+	}
+	iters, err := strconv.ParseInt(f[1], 10, 64)
+	if err != nil {
+		return Benchmark{}, false
+	}
+	b := Benchmark{Name: stripProcs(f[0]), Iters: iters, Metrics: map[string]float64{}}
+	for i := 2; i+1 < len(f); i += 2 {
+		v, err := strconv.ParseFloat(f[i], 64)
+		if err != nil {
+			return Benchmark{}, false
+		}
+		b.Metrics[f[i+1]] = v
+	}
+	return b, true
+}
+
+// stripProcs removes the trailing -<GOMAXPROCS> suffix Go appends to
+// benchmark names when GOMAXPROCS != 1. The heuristic (drop a purely
+// numeric final segment) cannot distinguish a genuine numeric sub-bench
+// suffix on a single-core machine, so gated benchmarks should avoid
+// trailing numeric name segments ("w4", not "4"); JSON streams are
+// immune because the Test field carries the canonical name.
+func stripProcs(name string) string {
+	i := strings.LastIndexByte(name, '-')
+	if i < 0 {
+		return name
+	}
+	if _, err := strconv.Atoi(name[i+1:]); err != nil {
+		return name
+	}
+	return name[:i]
+}

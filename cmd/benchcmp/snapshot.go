@@ -1,0 +1,88 @@
+// Command benchcmp normalizes `go test -json -bench` streams into a
+// compact pinned snapshot schema and diffs two snapshots with a
+// configurable tolerance, failing on step-throughput regressions. It is
+// the gate that turns BENCH_main.json from a passive artifact into a CI
+// trajectory: every PR regenerates BENCH_ci.json, benchcmp compares it
+// against the committed baseline, and a regression beyond tolerance
+// fails the job with a per-benchmark delta table.
+//
+// Usage:
+//
+//	benchcmp -normalize [-in stream.json|-] [-out snapshot.json|-]
+//	benchcmp -baseline BENCH_main.json -current BENCH_ci.json
+//	         [-tolerance 0.5] [-gate 'ns/cell'] [-summary table.md]
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"sort"
+)
+
+// formatName and formatVersion pin the snapshot schema. Bump the version
+// only on a deliberate schema break; the exact-bytes test in
+// snapshot_test.go is the tripwire.
+const (
+	formatName    = "benchcmp"
+	formatVersion = 1
+)
+
+// Snapshot is the normalized form of one benchmark run: machine context
+// plus one entry per benchmark, sorted by name, each carrying its
+// metrics (unit -> value; maps marshal with sorted keys).
+type Snapshot struct {
+	Format  string `json:"format"`
+	Version int    `json:"version"`
+	// Goos/Goarch/CPU describe the machine the numbers came from; they
+	// are informational and never compared.
+	Goos   string `json:"goos,omitempty"`
+	Goarch string `json:"goarch,omitempty"`
+	CPU    string `json:"cpu,omitempty"`
+
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+// Benchmark is one normalized benchmark result. Name has the -<procs>
+// suffix stripped so snapshots from machines with different GOMAXPROCS
+// line up; Iters keeps the -benchtime iteration count for context.
+type Benchmark struct {
+	Name    string             `json:"name"`
+	Iters   int64              `json:"iters"`
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+// Encode renders the snapshot in its canonical committed form: two-space
+// indented JSON, benchmarks sorted by name, trailing newline.
+func (s *Snapshot) Encode() ([]byte, error) {
+	sort.Slice(s.Benchmarks, func(i, j int) bool {
+		return s.Benchmarks[i].Name < s.Benchmarks[j].Name
+	})
+	if s.Benchmarks == nil {
+		s.Benchmarks = []Benchmark{}
+	}
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(s); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// DecodeSnapshot parses a snapshot and rejects other formats loudly —
+// comparing a raw test2json stream against a snapshot produces nonsense
+// deltas, so the format/version handshake is strict.
+func DecodeSnapshot(data []byte) (*Snapshot, error) {
+	var s Snapshot
+	if err := json.Unmarshal(data, &s); err != nil {
+		return nil, fmt.Errorf("benchcmp: not a snapshot (run -normalize first?): %w", err)
+	}
+	if s.Format != formatName {
+		return nil, fmt.Errorf("benchcmp: format %q, want %q (run -normalize first?)", s.Format, formatName)
+	}
+	if s.Version != formatVersion {
+		return nil, fmt.Errorf("benchcmp: snapshot version %d, this tool reads %d", s.Version, formatVersion)
+	}
+	return &s, nil
+}

@@ -48,7 +48,40 @@ type Job struct {
 
 	// Migrations counts completed migrations.
 	Migrations int
+
+	// workersOverride, when positive, replaces the config's intra-rank
+	// worker budget on every live solver and on every solver rebuilt
+	// after a migration (the scheduler threads farm.WithWorkers here).
+	workersOverride int
 }
+
+// workerBudgeted is implemented by programs whose method accepts an
+// intra-rank worker budget (both Program2D and Program3D).
+type workerBudgeted interface{ SetWorkers(n int) }
+
+// SetWorkers overrides the intra-rank worker budget of every rank's
+// solver, now and across future migrations. Fields are bit-identical at
+// every value. Call before Start (or while every worker is paused): the
+// budget is plain solver state, not synchronized with running compute
+// phases. n <= 0 clears the override (rebuilt solvers fall back to the
+// config default).
+func (j *Job) SetWorkers(n int) {
+	j.workersOverride = n
+	if n <= 0 {
+		return
+	}
+	for _, w := range j.workers {
+		if p, ok := w.Prog.(workerBudgeted); ok {
+			p.SetWorkers(n)
+		}
+	}
+}
+
+// SetWorkers forwards the intra-rank worker budget to the method.
+func (p *Program2D) SetWorkers(n int) { p.M.SetWorkers(n) }
+
+// SetWorkers forwards the intra-rank worker budget to the method.
+func (p *Program3D) SetWorkers(n int) { p.M.SetWorkers(n) }
 
 // NewJob2D prepares a job for a 2D config. Workers are created immediately
 // (channels open at epoch 0) but do not run until Start.
@@ -274,6 +307,13 @@ func (j *Job) MigrateRanks(ranks []int, onDump func(rank int, st *dump.State)) e
 		prog, err := j.Rebuild(st)
 		if err != nil {
 			return fmt.Errorf("core: rebuilding rank %d: %w", r, err)
+		}
+		// Rebuild restores the config's worker budget; keep any
+		// scheduler-level override across the migration.
+		if j.workersOverride > 0 {
+			if p, ok := prog.(workerBudgeted); ok {
+				p.SetWorkers(j.workersOverride)
+			}
 		}
 		w, err := NewWorkerAt(prog, j.Factory, j.epoch, j.events, st.Step)
 		if err != nil {

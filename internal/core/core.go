@@ -78,6 +78,9 @@ type Method2D interface {
 	MethodName() string
 	DumpFields() map[string][]float64
 	RestoreFields(map[string][]float64) error
+	// SetWorkers sets the intra-rank worker-slab budget for the compute
+	// phases. Results are bit-identical at every value (see internal/pool).
+	SetWorkers(n int)
 }
 
 // Program2D binds a Method2D to one subregion of a 2D decomposition.
@@ -185,6 +188,9 @@ type Method3D interface {
 	MethodName() string
 	DumpFields() map[string][]float64
 	RestoreFields(map[string][]float64) error
+	// SetWorkers sets the intra-rank worker-slab budget for the compute
+	// phases. Results are bit-identical at every value (see internal/pool).
+	SetWorkers(n int)
 }
 
 // Program3D binds a Method3D to one box of a 3D decomposition.

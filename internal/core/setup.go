@@ -9,6 +9,7 @@ import (
 	"repro/internal/fluid"
 	"repro/internal/lbm"
 	"repro/internal/msg"
+	"repro/internal/pool"
 )
 
 // Method names accepted by the configs.
@@ -25,6 +26,11 @@ type Config2D struct {
 	Par    fluid.Params
 	Mask   *fluid.Mask2D
 	D      *decomp.Decomp2D
+
+	// Workers is the intra-rank worker-slab budget handed to each rank's
+	// solver; 0 means an even share of GOMAXPROCS across the ranks
+	// (pool.DefaultPerRank). Fields are bit-identical at every value.
+	Workers int
 
 	// Initial fields at global coordinates; nil means rho = Rho0, V = 0.
 	InitRho, InitVx, InitVy func(x, y int) float64
@@ -78,10 +84,30 @@ func (c *Config2D) globalAt(f func(x, y int) float64, gx, gy int, def float64) f
 	return f(gx, gy)
 }
 
+// workerBudget resolves the intra-rank worker count: the explicit Workers
+// knob if set, else an even share of GOMAXPROCS across the ranks so
+// co-scheduled ranks don't oversubscribe the machine.
+func (c *Config2D) workerBudget() int {
+	if c.Workers > 0 {
+		return c.Workers
+	}
+	return pool.DefaultPerRank(c.D.P())
+}
+
 // NewMethod2D builds the numerical method instance for one subregion,
 // with fields initialized from the config: the combined initialization +
-// decomposition programs of section 4.1 for a fresh start.
+// decomposition programs of section 4.1 for a fresh start, plus the
+// intra-rank worker budget.
 func (c *Config2D) NewMethod2D(rank int) (Method2D, error) {
+	m, err := c.newMethod2D(rank)
+	if err != nil {
+		return nil, err
+	}
+	m.SetWorkers(c.workerBudget())
+	return m, nil
+}
+
+func (c *Config2D) newMethod2D(rank int) (Method2D, error) {
 	sub := c.D.ByRank(rank)
 	mask := LocalMask2D(c.D, sub, c.Mask)
 	switch c.Method {

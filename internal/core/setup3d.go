@@ -8,6 +8,7 @@ import (
 	"repro/internal/fd"
 	"repro/internal/fluid"
 	"repro/internal/lbm"
+	"repro/internal/pool"
 )
 
 // Config3D describes a complete 3D simulation.
@@ -17,7 +18,19 @@ type Config3D struct {
 	Mask   *fluid.Mask3D
 	D      *decomp.Decomp3D
 
+	// Workers is the intra-rank worker-slab budget per solver; 0 means an
+	// even share of GOMAXPROCS across ranks (pool.DefaultPerRank).
+	Workers int
+
 	InitRho, InitVx, InitVy, InitVz func(x, y, z int) float64
+}
+
+// workerBudget resolves the intra-rank worker count (see Config2D).
+func (c *Config3D) workerBudget() int {
+	if c.Workers > 0 {
+		return c.Workers
+	}
+	return pool.DefaultPerRank(c.D.P())
 }
 
 // Validate checks the configuration.
@@ -59,8 +72,17 @@ func (c *Config3D) globalAt(f func(x, y, z int) float64, gx, gy, gz int, def flo
 }
 
 // NewMethod3D builds the numerical method for one box with initialized
-// fields.
+// fields and the intra-rank worker budget.
 func (c *Config3D) NewMethod3D(rank int) (Method3D, error) {
+	m, err := c.newMethod3D(rank)
+	if err != nil {
+		return nil, err
+	}
+	m.SetWorkers(c.workerBudget())
+	return m, nil
+}
+
+func (c *Config3D) newMethod3D(rank int) (Method3D, error) {
 	sub := c.D.ByRank(rank)
 	mask := LocalMask3D(c.D, sub, c.Mask)
 	initFields := func(rho, vx, vy, vz interface {

@@ -111,6 +111,13 @@ func (j *Job) Resume(states []*dump.State) error {
 		if err != nil {
 			return fmt.Errorf("core: resume: rebuilding rank %d: %w", st.Rank, err)
 		}
+		// Keep any scheduler-level worker-budget override across the
+		// suspend/resume round trip (Rebuild restores the config default).
+		if j.workersOverride > 0 {
+			if p, ok := prog.(workerBudgeted); ok {
+				p.SetWorkers(j.workersOverride)
+			}
+		}
 		w, err := NewWorkerAt(prog, j.Factory, j.epoch, j.events, st.Step)
 		if err != nil {
 			return fmt.Errorf("core: resume: restarting rank %d: %w", st.Rank, err)

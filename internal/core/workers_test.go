@@ -1,0 +1,105 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/dump"
+	"repro/internal/lbm"
+)
+
+// TestWorkerBudgetBitIdenticalThroughLifecycle is the tentpole identity
+// check at the job level: the same problem run at different intra-rank
+// worker budgets — with a mid-run migration and a suspend/resume round
+// trip thrown in — must produce bitwise identical solutions. Parallel
+// slabs, the migration dump path, and the checkpoint rebuild all promise
+// exact reproducibility; this test holds them to it simultaneously.
+func TestWorkerBudgetBitIdenticalThroughLifecycle(t *testing.T) {
+	const steps = 40
+	ref, _, err := RunSequential2D(channelConfig(t, MethodLB, 2, 2, 24, 16), steps)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, workers := range []int{1, 3, 7} {
+		cfg := channelConfig(t, MethodLB, 2, 2, 24, 16)
+		cfg.Workers = workers
+		j, jp := newTestJob(t, cfg, steps)
+		j.Start()
+
+		time.Sleep(15 * time.Millisecond)
+		if err := j.MigrateRanks([]int{2}, nil); err != nil {
+			t.Fatalf("workers=%d: migrate: %v", workers, err)
+		}
+		time.Sleep(10 * time.Millisecond)
+		states, err := j.Suspend()
+		if err != nil {
+			t.Fatalf("workers=%d: suspend: %v", workers, err)
+		}
+		if err := j.Resume(states); err != nil {
+			t.Fatalf("workers=%d: resume: %v", workers, err)
+		}
+		if err := j.WaitDone(); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		j.Shutdown()
+
+		got := jp.Gather(steps)
+		if ok, x, y, d := resultsEqual(ref, got, 0); !ok {
+			t.Errorf("workers=%d differs from serial reference at (%d,%d) by %g",
+				workers, x, y, d)
+		}
+	}
+}
+
+// solverWorkers reads the live per-rank budgets off the job's programs.
+func solverWorkers(t *testing.T, jp *JobPrograms2D) map[int]int {
+	t.Helper()
+	out := map[int]int{}
+	for rank, p := range jp.progs {
+		s, ok := p.M.(*lbm.Solver2D)
+		if !ok {
+			t.Fatalf("rank %d: method %T is not *lbm.Solver2D", rank, p.M)
+		}
+		out[rank] = s.Workers
+	}
+	return out
+}
+
+// TestSetWorkersSurvivesRebuilds: a scheduler-level override applied
+// before Start must stick across the migration and resume rebuild paths,
+// which construct fresh solvers from the config.
+func TestSetWorkersSurvivesRebuilds(t *testing.T) {
+	const steps = 60
+	cfg := channelConfig(t, MethodLB, 2, 2, 24, 16)
+	j, jp := newTestJob(t, cfg, steps)
+	j.SetWorkers(5)
+	j.Start()
+
+	time.Sleep(10 * time.Millisecond)
+	if err := j.MigrateRanks([]int{1}, func(rank int, st *dump.State) {}); err != nil {
+		t.Fatal(err)
+	}
+	for rank, w := range solverWorkers(t, jp) {
+		if w != 5 {
+			t.Errorf("after migrate: rank %d workers = %d, want 5", rank, w)
+		}
+	}
+
+	states, err := j.Suspend()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Resume(states); err != nil {
+		t.Fatal(err)
+	}
+	for rank, w := range solverWorkers(t, jp) {
+		if w != 5 {
+			t.Errorf("after resume: rank %d workers = %d, want 5", rank, w)
+		}
+	}
+	if err := j.WaitDone(); err != nil {
+		t.Fatal(err)
+	}
+	j.Shutdown()
+}

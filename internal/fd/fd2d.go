@@ -19,6 +19,12 @@
 // so the method sends two messages per neighbour per integration step and
 // communicates 3 variables per boundary node in 2D (4 in 3D), the counts
 // that drive its efficiency behaviour in figures 7-8.
+//
+// Like the lattice Boltzmann method, every inner phase writes each node
+// from its own neighbourhood reads of the previous-step fields, so a
+// rank's subregion is cut into row slabs (z-plane slabs in 3D) on the
+// shared worker pool when Workers > 1; results are bit-identical to the
+// serial sweep at any worker count (see internal/pool).
 package fd
 
 import (
@@ -29,6 +35,7 @@ import (
 	"repro/internal/fluid"
 	"repro/internal/grid"
 	"repro/internal/halo"
+	"repro/internal/pool"
 )
 
 // Solver2D integrates one subregion (or a whole serial domain) of the 2D
@@ -41,10 +48,27 @@ type Solver2D struct {
 	// fluid across a seam).
 	Mask func(x, y int) fluid.CellType
 
+	// Workers is the intra-rank slab count; <= 1 runs the serial sweeps.
+	// Results are bit-identical at every value.
+	Workers int
+
 	Rho, Vx, Vy *grid.Field2D // current state, ghost depth 1
 
 	nVx, nVy, nRho *grid.Field2D // next-step buffers
 	scratch        []float64     // filter workspace
+
+	// Static per-node structure cached at construction: interior cell
+	// types and per-row all-Interior flags (the branch-light fast path).
+	// Only interior coordinates are cached; ghost queries still go through
+	// Mask (they occur only in the filter plan, precomputed once).
+	cells   []fluid.CellType
+	rowOpen []bool
+	plan    *filter.Plan2D
+
+	par          pool.Runner
+	velFn, denFn func(lo, hi int)
+	runFn        filter.RunFunc
+	xbuf         []float64
 }
 
 // NewSolver2D allocates a solver for an nx-by-ny subregion. The fields are
@@ -68,10 +92,33 @@ func NewSolver2D(nx, ny int, par fluid.Params, mask func(x, y int) fluid.CellTyp
 		nRho: grid.NewField2D(nx, ny, 1),
 
 		scratch: make([]float64, nx*ny),
+		cells:   make([]fluid.CellType, nx*ny),
+		rowOpen: make([]bool, ny),
+		plan:    filter.NewPlan2D(nx, ny, mask),
 	}
+	for y := 0; y < ny; y++ {
+		open := true
+		for x := 0; x < nx; x++ {
+			c := mask(x, y)
+			s.cells[y*nx+x] = c
+			if c != fluid.Interior {
+				open = false
+			}
+		}
+		s.rowOpen[y] = open
+	}
+	s.velFn = s.velocityRows
+	s.denFn = s.densityRows
+	s.runFn = s.run
 	s.Rho.Fill(par.Rho0)
 	return s, nil
 }
+
+// SetWorkers sets the intra-rank slab count (the core setup threads the
+// per-rank budget through here).
+func (s *Solver2D) SetWorkers(n int) { s.Workers = n }
+
+func (s *Solver2D) run(n int, fn func(lo, hi int)) { s.par.Run(s.Workers, n, fn) }
 
 // Phases returns the number of compute phases per integration step.
 func (s *Solver2D) Phases() int { return 3 }
@@ -96,26 +143,39 @@ func (s *Solver2D) Compute(phase int) {
 }
 
 // computeVelocity advances Vx, Vy by one forward-Euler step of the momentum
-// equations 2-3 and applies the velocity boundary conditions.
+// equations 2-3 and applies the velocity boundary conditions. Every node
+// writes only nVx/nVy at its own coordinates, so row slabs are
+// write-disjoint; the swap happens after all slabs finish.
 func (s *Solver2D) computeVelocity() {
+	s.run(s.Vx.NY, s.velFn)
+	s.Vx.Swap(s.nVx)
+	s.Vy.Swap(s.nVy)
+}
+
+// velocityRows updates the velocity of rows [y0, y1).
+func (s *Solver2D) velocityRows(y0, y1 int) {
 	p := s.Par
 	dt, nu, cs2 := p.Dt, p.Nu, p.Cs*p.Cs
-	for y := 0; y < s.Vx.NY; y++ {
-		for x := 0; x < s.Vx.NX; x++ {
-			switch s.Mask(x, y) {
-			case fluid.Wall:
-				s.nVx.Set(x, y, 0)
-				s.nVy.Set(x, y, 0)
-				continue
-			case fluid.Inlet:
-				s.nVx.Set(x, y, p.InletVx)
-				s.nVy.Set(x, y, p.InletVy)
-				continue
-			case fluid.Outlet:
-				// Open boundary: velocity convects out unchanged.
-				s.nVx.Set(x, y, s.Vx.At(x, y))
-				s.nVy.Set(x, y, s.Vy.At(x, y))
-				continue
+	nx := s.Vx.NX
+	for y := y0; y < y1; y++ {
+		open := s.rowOpen[y]
+		for x := 0; x < nx; x++ {
+			if !open {
+				switch s.cells[y*nx+x] {
+				case fluid.Wall:
+					s.nVx.Set(x, y, 0)
+					s.nVy.Set(x, y, 0)
+					continue
+				case fluid.Inlet:
+					s.nVx.Set(x, y, p.InletVx)
+					s.nVy.Set(x, y, p.InletVy)
+					continue
+				case fluid.Outlet:
+					// Open boundary: velocity convects out unchanged.
+					s.nVx.Set(x, y, s.Vx.At(x, y))
+					s.nVy.Set(x, y, s.Vy.At(x, y))
+					continue
+				}
 			}
 			vx, vy := s.Vx.At(x, y), s.Vy.At(x, y)
 			rho := s.Rho.At(x, y)
@@ -133,25 +193,33 @@ func (s *Solver2D) computeVelocity() {
 			s.nVy.Set(x, y, vy+dt*(-vx*dVydx-vy*dVydy-cs2/rho*dRdy+nu*lapVy+p.ForceY))
 		}
 	}
-	s.Vx.Swap(s.nVx)
-	s.Vy.Swap(s.nVy)
 }
 
 // computeDensity advances rho by the continuity equation 1 using the
 // just-updated velocities, then applies the density boundary conditions.
 // The flux form conserves mass exactly over the interior.
 func (s *Solver2D) computeDensity() {
+	s.run(s.Rho.NY, s.denFn)
+	s.Rho.Swap(s.nRho)
+}
+
+// densityRows updates the density of rows [y0, y1).
+func (s *Solver2D) densityRows(y0, y1 int) {
 	p := s.Par
 	dt := p.Dt
-	for y := 0; y < s.Rho.NY; y++ {
-		for x := 0; x < s.Rho.NX; x++ {
-			switch s.Mask(x, y) {
-			case fluid.Inlet:
-				s.nRho.Set(x, y, p.InletRho)
-				continue
-			case fluid.Outlet:
-				s.nRho.Set(x, y, p.OutletRho)
-				continue
+	nx := s.Rho.NX
+	for y := y0; y < y1; y++ {
+		open := s.rowOpen[y]
+		for x := 0; x < nx; x++ {
+			if !open {
+				switch s.cells[y*nx+x] {
+				case fluid.Inlet:
+					s.nRho.Set(x, y, p.InletRho)
+					continue
+				case fluid.Outlet:
+					s.nRho.Set(x, y, p.OutletRho)
+					continue
+				}
 			}
 			// Walls evolve by the same flux form; with V = 0 at wall
 			// nodes the normal flux at the wall face vanishes and mass
@@ -161,12 +229,11 @@ func (s *Solver2D) computeDensity() {
 			s.nRho.Set(x, y, s.Rho.At(x, y)-dt*(dFxdx+dFydy))
 		}
 	}
-	s.Rho.Swap(s.nRho)
 }
 
 // applyFilter runs the shared fourth-order filter on rho, Vx, Vy.
 func (s *Solver2D) applyFilter() {
-	filter.Apply2D([]*grid.Field2D{s.Rho, s.Vx, s.Vy}, s.Par.Eps, s.Mask, s.scratch)
+	s.plan.Apply([]*grid.Field2D{s.Rho, s.Vx, s.Vy}, s.Par.Eps, s.scratch, s.runFn)
 }
 
 // fields returns the state fields in the fixed exchange order.
@@ -213,19 +280,21 @@ func (s *Solver2D) StepSerial(periodicX, periodicY bool) {
 }
 
 // selfExchange fills ghosts from the solver's own opposite edges (periodic)
-// or leaves them untouched (walls handle non-periodic sides via the mask).
+// or leaves them untouched (walls handle non-periodic sides via the mask),
+// reusing the solver's exchange buffer so the steady-state step does not
+// allocate.
 func (s *Solver2D) selfExchange(phase int, periodicX, periodicY bool) {
 	if periodicX {
-		buf := s.Pack(phase, decomp.East, nil)
-		s.Unpack(phase, decomp.West, buf)
-		buf = s.Pack(phase, decomp.West, buf[:0])
-		s.Unpack(phase, decomp.East, buf)
+		s.xbuf = s.Pack(phase, decomp.East, s.xbuf[:0])
+		s.Unpack(phase, decomp.West, s.xbuf)
+		s.xbuf = s.Pack(phase, decomp.West, s.xbuf[:0])
+		s.Unpack(phase, decomp.East, s.xbuf)
 	}
 	if periodicY {
-		buf := s.Pack(phase, decomp.North, nil)
-		s.Unpack(phase, decomp.South, buf)
-		buf = s.Pack(phase, decomp.South, buf[:0])
-		s.Unpack(phase, decomp.North, buf)
+		s.xbuf = s.Pack(phase, decomp.North, s.xbuf[:0])
+		s.Unpack(phase, decomp.South, s.xbuf)
+		s.xbuf = s.Pack(phase, decomp.South, s.xbuf[:0])
+		s.Unpack(phase, decomp.North, s.xbuf)
 	}
 }
 

@@ -8,21 +8,38 @@ import (
 	"repro/internal/fluid"
 	"repro/internal/grid"
 	"repro/internal/halo"
+	"repro/internal/pool"
 )
 
 // Solver3D integrates one box subregion of the 3D isothermal Navier-Stokes
 // equations with the same scheme as Solver2D plus the V_z momentum equation
 // (section 6). It communicates 4 variables per boundary node: Vx, Vy, Vz
 // after the velocity update and rho after the density update.
+//
+// When Workers > 1 the inner phases run as z-plane slabs on the shared
+// pool, bit-identical to the serial sweep.
 type Solver3D struct {
 	Par fluid.Params
 
 	Mask func(x, y, z int) fluid.CellType
 
+	// Workers is the intra-rank slab count; <= 1 runs the serial sweeps.
+	Workers int
+
 	Rho, Vx, Vy, Vz *grid.Field3D
 
 	nVx, nVy, nVz, nRho *grid.Field3D
 	scratch             []float64
+
+	// Static per-node structure cached at construction (see Solver2D).
+	cells   []fluid.CellType
+	rowOpen []bool // indexed z*ny + y
+	plan    *filter.Plan3D
+
+	par          pool.Runner
+	velFn, denFn func(lo, hi int)
+	runFn        filter.RunFunc
+	xbuf         []float64
 }
 
 // NewSolver3D allocates a 3D solver initialized to rho = Rho0, V = 0.
@@ -45,10 +62,34 @@ func NewSolver3D(nx, ny, nz int, par fluid.Params, mask func(x, y, z int) fluid.
 		nVz:     grid.NewField3D(nx, ny, nz, 1),
 		nRho:    grid.NewField3D(nx, ny, nz, 1),
 		scratch: make([]float64, nx*ny*nz),
+		cells:   make([]fluid.CellType, nx*ny*nz),
+		rowOpen: make([]bool, ny*nz),
+		plan:    filter.NewPlan3D(nx, ny, nz, mask),
 	}
+	for z := 0; z < nz; z++ {
+		for y := 0; y < ny; y++ {
+			open := true
+			for x := 0; x < nx; x++ {
+				c := mask(x, y, z)
+				s.cells[(z*ny+y)*nx+x] = c
+				if c != fluid.Interior {
+					open = false
+				}
+			}
+			s.rowOpen[z*ny+y] = open
+		}
+	}
+	s.velFn = s.velocityPlanes
+	s.denFn = s.densityPlanes
+	s.runFn = s.run
 	s.Rho.Fill(par.Rho0)
 	return s, nil
 }
+
+// SetWorkers sets the intra-rank slab count.
+func (s *Solver3D) SetWorkers(n int) { s.Workers = n }
+
+func (s *Solver3D) run(n int, fn func(lo, hi int)) { s.par.Run(s.Workers, n, fn) }
 
 // Phases returns the number of compute phases per step.
 func (s *Solver3D) Phases() int { return 3 }
@@ -80,72 +121,101 @@ func (s *Solver3D) Compute(phase int) {
 }
 
 func (s *Solver3D) computeVelocity() {
-	p := s.Par
-	dt, nu, cs2 := p.Dt, p.Nu, p.Cs*p.Cs
-	for z := 0; z < s.Vx.NZ; z++ {
-		for y := 0; y < s.Vx.NY; y++ {
-			for x := 0; x < s.Vx.NX; x++ {
-				switch s.Mask(x, y, z) {
-				case fluid.Wall:
-					s.nVx.Set(x, y, z, 0)
-					s.nVy.Set(x, y, z, 0)
-					s.nVz.Set(x, y, z, 0)
-					continue
-				case fluid.Inlet:
-					s.nVx.Set(x, y, z, p.InletVx)
-					s.nVy.Set(x, y, z, p.InletVy)
-					s.nVz.Set(x, y, z, p.InletVz)
-					continue
-				case fluid.Outlet:
-					s.nVx.Set(x, y, z, s.Vx.At(x, y, z))
-					s.nVy.Set(x, y, z, s.Vy.At(x, y, z))
-					s.nVz.Set(x, y, z, s.Vz.At(x, y, z))
-					continue
-				}
-				vx, vy, vz := s.Vx.At(x, y, z), s.Vy.At(x, y, z), s.Vz.At(x, y, z)
-				rho := s.Rho.At(x, y, z)
-
-				grad := func(f *grid.Field3D) (gx, gy, gz float64) {
-					gx = 0.5 * (f.At(x+1, y, z) - f.At(x-1, y, z))
-					gy = 0.5 * (f.At(x, y+1, z) - f.At(x, y-1, z))
-					gz = 0.5 * (f.At(x, y, z+1) - f.At(x, y, z-1))
-					return
-				}
-				lap := func(f *grid.Field3D) float64 {
-					return f.At(x+1, y, z) + f.At(x-1, y, z) +
-						f.At(x, y+1, z) + f.At(x, y-1, z) +
-						f.At(x, y, z+1) + f.At(x, y, z-1) - 6*f.At(x, y, z)
-				}
-				gxx, gxy, gxz := grad(s.Vx)
-				gyx, gyy, gyz := grad(s.Vy)
-				gzx, gzy, gzz := grad(s.Vz)
-				rx, ry, rz := grad(s.Rho)
-
-				adv := func(gx, gy, gz float64) float64 { return vx*gx + vy*gy + vz*gz }
-				s.nVx.Set(x, y, z, vx+dt*(-adv(gxx, gxy, gxz)-cs2/rho*rx+nu*lap(s.Vx)+p.ForceX))
-				s.nVy.Set(x, y, z, vy+dt*(-adv(gyx, gyy, gyz)-cs2/rho*ry+nu*lap(s.Vy)+p.ForceY))
-				s.nVz.Set(x, y, z, vz+dt*(-adv(gzx, gzy, gzz)-cs2/rho*rz+nu*lap(s.Vz)+p.ForceZ))
-			}
-		}
-	}
+	s.run(s.Vx.NZ, s.velFn)
 	s.Vx.Swap(s.nVx)
 	s.Vy.Swap(s.nVy)
 	s.Vz.Swap(s.nVz)
 }
 
+// velocityPlanes updates the velocity of z-planes [z0, z1). The momentum
+// derivatives are written out term by term (the serial version's grad/lap
+// helper closures, manually inlined with identical expressions) so the hot
+// loop builds no closures.
+func (s *Solver3D) velocityPlanes(z0, z1 int) {
+	p := s.Par
+	dt, nu, cs2 := p.Dt, p.Nu, p.Cs*p.Cs
+	nx, ny := s.Vx.NX, s.Vx.NY
+	for z := z0; z < z1; z++ {
+		for y := 0; y < ny; y++ {
+			open := s.rowOpen[z*ny+y]
+			row := (z*ny + y) * nx
+			for x := 0; x < nx; x++ {
+				if !open {
+					switch s.cells[row+x] {
+					case fluid.Wall:
+						s.nVx.Set(x, y, z, 0)
+						s.nVy.Set(x, y, z, 0)
+						s.nVz.Set(x, y, z, 0)
+						continue
+					case fluid.Inlet:
+						s.nVx.Set(x, y, z, p.InletVx)
+						s.nVy.Set(x, y, z, p.InletVy)
+						s.nVz.Set(x, y, z, p.InletVz)
+						continue
+					case fluid.Outlet:
+						s.nVx.Set(x, y, z, s.Vx.At(x, y, z))
+						s.nVy.Set(x, y, z, s.Vy.At(x, y, z))
+						s.nVz.Set(x, y, z, s.Vz.At(x, y, z))
+						continue
+					}
+				}
+				vx, vy, vz := s.Vx.At(x, y, z), s.Vy.At(x, y, z), s.Vz.At(x, y, z)
+				rho := s.Rho.At(x, y, z)
+
+				gxx := 0.5 * (s.Vx.At(x+1, y, z) - s.Vx.At(x-1, y, z))
+				gxy := 0.5 * (s.Vx.At(x, y+1, z) - s.Vx.At(x, y-1, z))
+				gxz := 0.5 * (s.Vx.At(x, y, z+1) - s.Vx.At(x, y, z-1))
+				gyx := 0.5 * (s.Vy.At(x+1, y, z) - s.Vy.At(x-1, y, z))
+				gyy := 0.5 * (s.Vy.At(x, y+1, z) - s.Vy.At(x, y-1, z))
+				gyz := 0.5 * (s.Vy.At(x, y, z+1) - s.Vy.At(x, y, z-1))
+				gzx := 0.5 * (s.Vz.At(x+1, y, z) - s.Vz.At(x-1, y, z))
+				gzy := 0.5 * (s.Vz.At(x, y+1, z) - s.Vz.At(x, y-1, z))
+				gzz := 0.5 * (s.Vz.At(x, y, z+1) - s.Vz.At(x, y, z-1))
+				rx := 0.5 * (s.Rho.At(x+1, y, z) - s.Rho.At(x-1, y, z))
+				ry := 0.5 * (s.Rho.At(x, y+1, z) - s.Rho.At(x, y-1, z))
+				rz := 0.5 * (s.Rho.At(x, y, z+1) - s.Rho.At(x, y, z-1))
+				lapVx := s.Vx.At(x+1, y, z) + s.Vx.At(x-1, y, z) +
+					s.Vx.At(x, y+1, z) + s.Vx.At(x, y-1, z) +
+					s.Vx.At(x, y, z+1) + s.Vx.At(x, y, z-1) - 6*s.Vx.At(x, y, z)
+				lapVy := s.Vy.At(x+1, y, z) + s.Vy.At(x-1, y, z) +
+					s.Vy.At(x, y+1, z) + s.Vy.At(x, y-1, z) +
+					s.Vy.At(x, y, z+1) + s.Vy.At(x, y, z-1) - 6*s.Vy.At(x, y, z)
+				lapVz := s.Vz.At(x+1, y, z) + s.Vz.At(x-1, y, z) +
+					s.Vz.At(x, y+1, z) + s.Vz.At(x, y-1, z) +
+					s.Vz.At(x, y, z+1) + s.Vz.At(x, y, z-1) - 6*s.Vz.At(x, y, z)
+
+				s.nVx.Set(x, y, z, vx+dt*(-(vx*gxx+vy*gxy+vz*gxz)-cs2/rho*rx+nu*lapVx+p.ForceX))
+				s.nVy.Set(x, y, z, vy+dt*(-(vx*gyx+vy*gyy+vz*gyz)-cs2/rho*ry+nu*lapVy+p.ForceY))
+				s.nVz.Set(x, y, z, vz+dt*(-(vx*gzx+vy*gzy+vz*gzz)-cs2/rho*rz+nu*lapVz+p.ForceZ))
+			}
+		}
+	}
+}
+
 func (s *Solver3D) computeDensity() {
+	s.run(s.Rho.NZ, s.denFn)
+	s.Rho.Swap(s.nRho)
+}
+
+// densityPlanes updates the density of z-planes [z0, z1).
+func (s *Solver3D) densityPlanes(z0, z1 int) {
 	p := s.Par
 	dt := p.Dt
-	for z := 0; z < s.Rho.NZ; z++ {
-		for y := 0; y < s.Rho.NY; y++ {
-			for x := 0; x < s.Rho.NX; x++ {
-				switch s.Mask(x, y, z) {
-				case fluid.Inlet:
-					s.nRho.Set(x, y, z, p.InletRho)
-					continue
-				case fluid.Outlet:
-					s.nRho.Set(x, y, z, p.OutletRho)
-					continue
+	nx, ny := s.Rho.NX, s.Rho.NY
+	for z := z0; z < z1; z++ {
+		for y := 0; y < ny; y++ {
+			open := s.rowOpen[z*ny+y]
+			row := (z*ny + y) * nx
+			for x := 0; x < nx; x++ {
+				if !open {
+					switch s.cells[row+x] {
+					case fluid.Inlet:
+						s.nRho.Set(x, y, z, p.InletRho)
+						continue
+					case fluid.Outlet:
+						s.nRho.Set(x, y, z, p.OutletRho)
+						continue
+					}
 				}
 				dFx := 0.5 * (s.Rho.At(x+1, y, z)*s.Vx.At(x+1, y, z) - s.Rho.At(x-1, y, z)*s.Vx.At(x-1, y, z))
 				dFy := 0.5 * (s.Rho.At(x, y+1, z)*s.Vy.At(x, y+1, z) - s.Rho.At(x, y-1, z)*s.Vy.At(x, y-1, z))
@@ -154,11 +224,10 @@ func (s *Solver3D) computeDensity() {
 			}
 		}
 	}
-	s.Rho.Swap(s.nRho)
 }
 
 func (s *Solver3D) applyFilter() {
-	filter.Apply3D([]*grid.Field3D{s.Rho, s.Vx, s.Vy, s.Vz}, s.Par.Eps, s.Mask, s.scratch)
+	s.plan.Apply([]*grid.Field3D{s.Rho, s.Vx, s.Vy, s.Vz}, s.Par.Eps, s.scratch, s.runFn)
 }
 
 func (s *Solver3D) fields(phase int) []*grid.Field3D {
@@ -198,10 +267,10 @@ func (s *Solver3D) StepSerial(periodicX, periodicY, periodicZ bool) {
 
 func (s *Solver3D) selfExchange(phase int, px, py, pz bool) {
 	wrap := func(a, b decomp.Dir3) {
-		buf := s.Pack(phase, a, nil)
-		s.Unpack(phase, b, buf)
-		buf = s.Pack(phase, b, buf[:0])
-		s.Unpack(phase, a, buf)
+		s.xbuf = s.Pack(phase, a, s.xbuf[:0])
+		s.Unpack(phase, b, s.xbuf)
+		s.xbuf = s.Pack(phase, b, s.xbuf[:0])
+		s.Unpack(phase, a, s.xbuf)
 	}
 	if px {
 		wrap(decomp.East3, decomp.West3)

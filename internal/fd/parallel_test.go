@@ -1,0 +1,159 @@
+package fd
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+
+	"repro/internal/fluid"
+)
+
+// jetMask2D exercises every boundary branch of the velocity and density
+// kernels: channel walls, inlet and outlet columns, and an interior
+// obstacle that breaks the all-open fast path for several rows.
+func jetMask2D(nx, ny int) *fluid.Mask2D {
+	m := fluid.ChannelMask2D(nx, ny)
+	m.FillRect(0, 1, 1, ny-1, fluid.Inlet)
+	m.FillRect(nx-1, 1, nx, ny-1, fluid.Outlet)
+	m.FillRect(nx/3, ny/3, nx/3+3, ny/3+4, fluid.Wall)
+	return m
+}
+
+func jetMask3D(nx, ny, nz int) *fluid.Mask3D {
+	m := fluid.ChannelMask3D(nx, ny, nz)
+	for z := 1; z < nz-1; z++ {
+		for y := 1; y < ny-1; y++ {
+			m.Set(0, y, z, fluid.Inlet)
+			m.Set(nx-1, y, z, fluid.Outlet)
+		}
+	}
+	for z := nz / 3; z < nz/3+2; z++ {
+		for y := ny / 3; y < ny/3+3; y++ {
+			m.Set(nx/2, y, z, fluid.Wall)
+		}
+	}
+	return m
+}
+
+func testParams() fluid.Params {
+	par := fluid.DefaultParams()
+	par.Nu = 0.05
+	par.Eps = 0.01
+	par.ForceX = 1e-5
+	par.InletVx = 0.04
+	return par
+}
+
+func workerCounts() []int {
+	return []int{1, 2, 7, runtime.GOMAXPROCS(0)}
+}
+
+// TestParallelIdentity2D requires the worker-slab step to be bit-identical
+// to the serial step at every worker count.
+func TestParallelIdentity2D(t *testing.T) {
+	const nx, ny, steps = 36, 29, 40
+	m := jetMask2D(nx, ny)
+	mask := func(x, y int) fluid.CellType { return m.At(x, y) }
+
+	ref, err := NewSolver2D(nx, ny, testParams(), mask)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for n := 0; n < steps; n++ {
+		ref.StepSerial(false, false)
+	}
+
+	for _, w := range workerCounts() {
+		t.Run(fmt.Sprintf("w%d", w), func(t *testing.T) {
+			s, err := NewSolver2D(nx, ny, testParams(), mask)
+			if err != nil {
+				t.Fatal(err)
+			}
+			s.SetWorkers(w)
+			for n := 0; n < steps; n++ {
+				s.StepSerial(false, false)
+			}
+			compareBits(t, "Rho", ref.Rho.Data(), s.Rho.Data())
+			compareBits(t, "Vx", ref.Vx.Data(), s.Vx.Data())
+			compareBits(t, "Vy", ref.Vy.Data(), s.Vy.Data())
+		})
+	}
+}
+
+func TestParallelIdentity3D(t *testing.T) {
+	const nx, ny, nz, steps = 14, 11, 13, 25
+	m := jetMask3D(nx, ny, nz)
+	mask := func(x, y, z int) fluid.CellType { return m.At(x, y, z) }
+
+	ref, err := NewSolver3D(nx, ny, nz, testParams(), mask)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for n := 0; n < steps; n++ {
+		ref.StepSerial(false, false, true)
+	}
+
+	for _, w := range workerCounts() {
+		t.Run(fmt.Sprintf("w%d", w), func(t *testing.T) {
+			s, err := NewSolver3D(nx, ny, nz, testParams(), mask)
+			if err != nil {
+				t.Fatal(err)
+			}
+			s.SetWorkers(w)
+			for n := 0; n < steps; n++ {
+				s.StepSerial(false, false, true)
+			}
+			compareBits(t, "Rho", ref.Rho.Data(), s.Rho.Data())
+			compareBits(t, "Vx", ref.Vx.Data(), s.Vx.Data())
+			compareBits(t, "Vy", ref.Vy.Data(), s.Vy.Data())
+			compareBits(t, "Vz", ref.Vz.Data(), s.Vz.Data())
+		})
+	}
+}
+
+func compareBits(t *testing.T, name string, want, got []float64) {
+	t.Helper()
+	if len(want) != len(got) {
+		t.Fatalf("%s: length %d vs %d", name, len(want), len(got))
+	}
+	for i := range want {
+		if want[i] != got[i] {
+			t.Fatalf("%s[%d]: serial %v, parallel %v", name, i, want[i], got[i])
+		}
+	}
+}
+
+// TestStepZeroAlloc pins the steady-state allocation budget of the hot
+// step at zero for the serial and the parallel path, including the
+// periodic exchange.
+func TestStepZeroAlloc(t *testing.T) {
+	m2 := jetMask2D(24, 19)
+	s2, err := NewSolver2D(24, 19, testParams(), func(x, y int) fluid.CellType { return m2.At(x, y) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	m3 := jetMask3D(10, 9, 8)
+	s3, err := NewSolver3D(10, 9, 8, testParams(), func(x, y, z int) fluid.CellType { return m3.At(x, y, z) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, step := range map[string]func(){
+		"2D/serial": func() { s2.StepSerial(true, false) },
+		"3D/serial": func() { s3.StepSerial(false, false, true) },
+	} {
+		step()
+		if allocs := testing.AllocsPerRun(10, step); allocs != 0 {
+			t.Errorf("%s: %v allocs per step, want 0", name, allocs)
+		}
+	}
+	s2.SetWorkers(2)
+	s3.SetWorkers(2)
+	s2.StepSerial(true, false)
+	s3.StepSerial(false, false, true)
+	if allocs := testing.AllocsPerRun(10, func() { s2.StepSerial(true, false) }); allocs != 0 {
+		t.Errorf("2D/w2: %v allocs per step, want 0", allocs)
+	}
+	if allocs := testing.AllocsPerRun(10, func() { s3.StepSerial(false, false, true) }); allocs != 0 {
+		t.Errorf("3D/w2: %v allocs per step, want 0", allocs)
+	}
+}

@@ -22,6 +22,12 @@
 // The lattice is D2Q9 in two dimensions (D3Q15 in three), with BGK
 // relaxation; solid walls use full-way bounce-back, which places the
 // physical wall half-way between the wall node and the adjacent fluid node.
+//
+// Every inner phase is per-cell independent, so a rank's subregion is
+// additionally cut into row slabs updated concurrently by the shared
+// worker pool when Workers > 1; writes are disjoint by row and no node's
+// arithmetic changes, so the fields stay bit-identical to the serial
+// sweep at any worker count (see internal/pool).
 package lbm
 
 import (
@@ -32,6 +38,7 @@ import (
 	"repro/internal/fluid"
 	"repro/internal/grid"
 	"repro/internal/halo"
+	"repro/internal/pool"
 )
 
 // Q2 is the number of D2Q9 populations.
@@ -75,12 +82,33 @@ type Solver2D struct {
 
 	Mask func(x, y int) fluid.CellType
 
+	// Workers is the intra-rank slab count; <= 1 runs the serial sweeps.
+	// Results are bit-identical at every value.
+	Workers int
+
 	F  [Q2]*grid.Field2D // populations, ghost depth 1
 	nF [Q2]*grid.Field2D // post-shift buffers
 
 	Rho, Vx, Vy *grid.Field2D // fluid variables (ghost layers unused)
 
 	scratch []float64
+
+	// Static per-node structure, cached at construction so the hot loops
+	// never call the mask closure: the interior cell types and, per row,
+	// whether every cell is plain Interior (the branch-free fast path).
+	cells   []fluid.CellType
+	rowOpen []bool
+	plan    *filter.Plan2D
+
+	// Parallel-kernel machinery: the pool runner, the prebuilt range
+	// closures (built once so the steady-state step allocates nothing),
+	// the population being shifted, and the reused exchange buffer.
+	par                       pool.Runner
+	relaxFn, shiftFn, macroFn func(lo, hi int)
+	runFn                     filter.RunFunc
+	shiftSrc, shiftDst        *grid.Field2D
+	shiftDx, shiftDy          int
+	xbuf                      []float64
 }
 
 // NewSolver2D allocates a D2Q9 solver for an nx-by-ny subregion,
@@ -101,15 +129,41 @@ func NewSolver2D(nx, ny int, par fluid.Params, mask func(x, y int) fluid.CellTyp
 		Vx:      grid.NewField2D(nx, ny, 1),
 		Vy:      grid.NewField2D(nx, ny, 1),
 		scratch: make([]float64, nx*ny),
+		cells:   make([]fluid.CellType, nx*ny),
+		rowOpen: make([]bool, ny),
+		plan:    filter.NewPlan2D(nx, ny, mask),
 	}
 	for i := 0; i < Q2; i++ {
 		s.F[i] = grid.NewField2D(nx, ny, 1)
 		s.nF[i] = grid.NewField2D(nx, ny, 1)
 	}
+	for y := 0; y < ny; y++ {
+		open := true
+		for x := 0; x < nx; x++ {
+			c := mask(x, y)
+			s.cells[y*nx+x] = c
+			if c != fluid.Interior {
+				open = false
+			}
+		}
+		s.rowOpen[y] = open
+	}
+	s.relaxFn = s.relaxRows
+	s.shiftFn = s.shiftRows
+	s.macroFn = s.macroRows
+	s.runFn = s.run
 	s.Rho.Fill(par.Rho0)
 	s.InitEquilibrium()
 	return s, nil
 }
+
+// SetWorkers sets the intra-rank slab count (the core setup threads the
+// per-rank budget through here).
+func (s *Solver2D) SetWorkers(n int) { s.Workers = n }
+
+// run executes fn over [0, n) on the shared pool with the configured
+// worker count.
+func (s *Solver2D) run(n int, fn func(lo, hi int)) { s.par.Run(s.Workers, n, fn) }
 
 // InitEquilibrium sets every interior fluid population to the equilibrium
 // of the current Rho, Vx, Vy fields, and zeroes ghost and wall populations.
@@ -138,8 +192,14 @@ func (s *Solver2D) InitEquilibrium() {
 
 // feq2 is the D2Q9 BGK equilibrium distribution.
 func feq2(i int, rho, vx, vy float64) float64 {
+	return feq2v(i, rho, vx, vy, vx*vx+vy*vy)
+}
+
+// feq2v is feq2 with the speed-squared hoisted: the relax kernel computes
+// v2 once per node instead of once per population. The expression is
+// identical, so the hoisting is bit-exact.
+func feq2v(i int, rho, vx, vy, v2 float64) float64 {
 	cu := float64(cx2[i])*vx + float64(cy2[i])*vy
-	v2 := vx*vx + vy*vy
 	return w2[i] * rho * (1 + 3*cu + 4.5*cu*cu - 1.5*v2)
 }
 
@@ -169,42 +229,52 @@ func (s *Solver2D) Compute(phase int) {
 // fluid variables at every interior node, bounce-back at walls, and
 // equilibrium forcing at inlets and outlets. A body force enters as the
 // standard first-order population shift 3 w_i rho (c_i . g).
-func (s *Solver2D) relax() {
+func (s *Solver2D) relax() { s.run(s.Rho.NY, s.relaxFn) }
+
+// relaxRows relaxes rows [y0, y1). All-Interior rows skip the cell-type
+// dispatch entirely; mixed rows branch on the cached cell types. Each
+// node writes only its own populations, so slabs are write-disjoint.
+func (s *Solver2D) relaxRows(y0, y1 int) {
 	p := s.Par
 	invTau := 1 / s.Tau
 	forced := p.ForceX != 0 || p.ForceY != 0
-	for y := 0; y < s.Rho.NY; y++ {
-		for x := 0; x < s.Rho.NX; x++ {
-			switch s.Mask(x, y) {
-			case fluid.Wall:
-				// Full-way bounce-back: reflect the populations that
-				// streamed into the wall during the previous step.
-				for i := 1; i < Q2; i++ {
-					if j := opp2[i]; j > i {
-						a, b := s.F[i].At(x, y), s.F[j].At(x, y)
-						s.F[i].Set(x, y, b)
-						s.F[j].Set(x, y, a)
+	nx := s.Rho.NX
+	for y := y0; y < y1; y++ {
+		open := s.rowOpen[y]
+		for x := 0; x < nx; x++ {
+			if !open {
+				switch s.cells[y*nx+x] {
+				case fluid.Wall:
+					// Full-way bounce-back: reflect the populations that
+					// streamed into the wall during the previous step.
+					for i := 1; i < Q2; i++ {
+						if j := opp2[i]; j > i {
+							a, b := s.F[i].At(x, y), s.F[j].At(x, y)
+							s.F[i].Set(x, y, b)
+							s.F[j].Set(x, y, a)
+						}
 					}
+					continue
+				case fluid.Inlet:
+					for i := 0; i < Q2; i++ {
+						s.F[i].Set(x, y, feq2(i, p.InletRho, p.InletVx, p.InletVy))
+					}
+					continue
+				case fluid.Outlet:
+					// Prescribed density, local velocity: anchors the mean
+					// pressure while letting flow leave.
+					vx, vy := s.Vx.At(x, y), s.Vy.At(x, y)
+					for i := 0; i < Q2; i++ {
+						s.F[i].Set(x, y, feq2(i, p.OutletRho, vx, vy))
+					}
+					continue
 				}
-				continue
-			case fluid.Inlet:
-				for i := 0; i < Q2; i++ {
-					s.F[i].Set(x, y, feq2(i, p.InletRho, p.InletVx, p.InletVy))
-				}
-				continue
-			case fluid.Outlet:
-				// Prescribed density, local velocity: anchors the mean
-				// pressure while letting flow leave.
-				vx, vy := s.Vx.At(x, y), s.Vy.At(x, y)
-				for i := 0; i < Q2; i++ {
-					s.F[i].Set(x, y, feq2(i, p.OutletRho, vx, vy))
-				}
-				continue
 			}
 			rho, vx, vy := s.Rho.At(x, y), s.Vx.At(x, y), s.Vy.At(x, y)
+			v2 := vx*vx + vy*vy
 			for i := 0; i < Q2; i++ {
 				f := s.F[i].At(x, y)
-				s.F[i].Set(x, y, f+(feq2(i, rho, vx, vy)-f)*invTau)
+				s.F[i].Set(x, y, f+(feq2v(i, rho, vx, vy, v2)-f)*invTau)
 			}
 			if forced {
 				for i := 1; i < Q2; i++ {
@@ -221,66 +291,71 @@ func (s *Solver2D) relax() {
 // collect the outflow that the exchange will deliver to neighbouring
 // subregions. Interior edge values computed from stale ghosts are
 // overwritten by the incoming exchange data.
+//
+// The row sweep (interior rows plus the ghost-column targets at the same
+// y) runs on the pool; the ghost-row strip and corner are finished
+// serially — they are O(nx) of the O(nx*ny) population.
 func (s *Solver2D) shift() {
 	nx, ny := s.Rho.NX, s.Rho.NY
 	for i := 0; i < Q2; i++ {
 		dx, dy := cx2[i], cy2[i]
 		src, dst := s.F[i], s.nF[i]
-		for y := 0; y < ny; y++ {
-			for x := 0; x < nx; x++ {
-				dst.Set(x, y, src.At(x-dx, y-dy))
-			}
-		}
+		s.shiftSrc, s.shiftDst, s.shiftDx, s.shiftDy = src, dst, dx, dy
+		s.run(ny, s.shiftFn)
 		if dx != 0 || dy != 0 {
-			// Outflow into ghost targets: source is the interior edge.
-			for _, g := range ghostTargets(nx, ny, dx, dy) {
-				dst.Set(g[0], g[1], src.At(g[0]-dx, g[1]-dy))
+			gx := -1
+			if dx > 0 {
+				gx = nx
+			}
+			gy := -1
+			if dy > 0 {
+				gy = ny
+			}
+			if dy != 0 {
+				for x := 0; x < nx; x++ {
+					dst.Set(x, gy, src.At(x-dx, gy-dy))
+				}
+				if dx != 0 {
+					dst.Set(gx, gy, src.At(gx-dx, gy-dy))
+				}
 			}
 		}
 		src.Swap(dst)
 	}
 }
 
-// ghostTargets returns the ghost nodes that population (dx, dy) streams
-// into from interior sources.
-func ghostTargets(nx, ny, dx, dy int) [][2]int {
-	var out [][2]int
-	gx := -1
-	if dx > 0 {
-		gx = nx
-	}
-	gy := -1
-	if dy > 0 {
-		gy = ny
-	}
-	switch {
-	case dx != 0 && dy != 0: // diagonal: one edge strip each + the corner
-		for y := 0; y < ny; y++ {
-			out = append(out, [2]int{gx, y})
-		}
+// shiftRows streams the current population into dst rows [y0, y1),
+// including the ghost-column target of each row when the population has
+// an x component. Writes land only in rows [y0, y1) of dst.
+func (s *Solver2D) shiftRows(y0, y1 int) {
+	nx := s.Rho.NX
+	src, dst, dx, dy := s.shiftSrc, s.shiftDst, s.shiftDx, s.shiftDy
+	for y := y0; y < y1; y++ {
 		for x := 0; x < nx; x++ {
-			out = append(out, [2]int{x, gy})
+			dst.Set(x, y, src.At(x-dx, y-dy))
 		}
-		out = append(out, [2]int{gx, gy})
-	case dx != 0:
-		for y := 0; y < ny; y++ {
-			out = append(out, [2]int{gx, y})
-		}
-	default:
-		for x := 0; x < nx; x++ {
-			out = append(out, [2]int{x, gy})
+		if dx != 0 {
+			gx := -1
+			if dx > 0 {
+				gx = nx
+			}
+			dst.Set(gx, y, src.At(gx-dx, y-dy))
 		}
 	}
-	return out
 }
 
 // macroscopics recomputes rho, Vx, Vy from the populations at interior
 // nodes. Wall nodes keep rho = Rho0, V = 0: their populations are in
 // bounce-back transit and carry no fluid state.
-func (s *Solver2D) macroscopics() {
-	for y := 0; y < s.Rho.NY; y++ {
-		for x := 0; x < s.Rho.NX; x++ {
-			if s.Mask(x, y) == fluid.Wall {
+func (s *Solver2D) macroscopics() { s.run(s.Rho.NY, s.macroFn) }
+
+// macroRows recomputes the fluid variables on rows [y0, y1).
+func (s *Solver2D) macroRows(y0, y1 int) {
+	nx := s.Rho.NX
+	for y := y0; y < y1; y++ {
+		open := s.rowOpen[y]
+		for x := 0; x < nx; x++ {
+			if !open && s.cells[y*nx+x] == fluid.Wall {
 				s.Rho.Set(x, y, s.Par.Rho0)
 				s.Vx.Set(x, y, 0)
 				s.Vy.Set(x, y, 0)
@@ -301,7 +376,7 @@ func (s *Solver2D) macroscopics() {
 }
 
 func (s *Solver2D) applyFilter() {
-	filter.Apply2D([]*grid.Field2D{s.Rho, s.Vx, s.Vy}, s.Par.Eps, s.Mask, s.scratch)
+	s.plan.Apply([]*grid.Field2D{s.Rho, s.Vx, s.Vy}, s.Par.Eps, s.scratch, s.runFn)
 }
 
 // sendRegion returns the ghost-strip region of population i's outflow
@@ -382,29 +457,35 @@ func (s *Solver2D) MsgLen(phase int, dir decomp.Dir) int {
 func (s *Solver2D) Stencil() decomp.Stencil { return decomp.Full }
 
 // StepSerial advances a standalone solver one step with periodic wrapping
-// on the requested axes.
+// on the requested axes. ("Serial" refers to the absence of a transport —
+// the exchange wraps in place; the compute slabs still honour Workers.)
 func (s *Solver2D) StepSerial(periodicX, periodicY bool) {
 	s.Compute(0)
 	s.selfExchange(periodicX, periodicY)
 	s.Compute(1)
 }
 
-// selfExchange wraps outflow back into the solver's own opposite edges.
+// selfExchange wraps outflow back into the solver's own opposite edges,
+// reusing the solver's exchange buffer so the steady-state step does not
+// allocate.
 func (s *Solver2D) selfExchange(periodicX, periodicY bool) {
-	var dirs []decomp.Dir
+	wrap := func(d decomp.Dir) {
+		s.xbuf = s.Pack(0, d, s.xbuf[:0])
+		s.Unpack(0, d.Opposite(), s.xbuf)
+	}
 	if periodicX {
-		dirs = append(dirs, decomp.East, decomp.West)
+		wrap(decomp.East)
+		wrap(decomp.West)
 	}
 	if periodicY {
-		dirs = append(dirs, decomp.North, decomp.South)
+		wrap(decomp.North)
+		wrap(decomp.South)
 	}
 	if periodicX && periodicY {
-		dirs = append(dirs, decomp.NorthEast, decomp.NorthWest, decomp.SouthEast, decomp.SouthWest)
-	}
-	var buf []float64
-	for _, d := range dirs {
-		buf = s.Pack(0, d, buf[:0])
-		s.Unpack(0, d.Opposite(), buf)
+		wrap(decomp.NorthEast)
+		wrap(decomp.NorthWest)
+		wrap(decomp.SouthEast)
+		wrap(decomp.SouthWest)
 	}
 }
 

@@ -8,6 +8,7 @@ import (
 	"repro/internal/fluid"
 	"repro/internal/grid"
 	"repro/internal/halo"
+	"repro/internal/pool"
 )
 
 // Q3 is the number of D3Q15 populations: rest + 6 axis + 8 cube diagonals.
@@ -50,11 +51,18 @@ func init() {
 // local. The (P x 1 x 1) pencil decompositions of figure 9 degenerate to a
 // single exchange per step, matching the paper's one-message count; fuller
 // 3D lattices pay one message per face per step.
+//
+// When Workers > 1 the inner phases are cut into z-plane slabs on the
+// shared pool; writes are disjoint by plane and per-node arithmetic is
+// unchanged, so fields stay bit-identical to the serial sweep.
 type Solver3D struct {
 	Par fluid.Params
 	Tau float64
 
 	Mask func(x, y, z int) fluid.CellType
+
+	// Workers is the intra-rank slab count; <= 1 runs the serial sweeps.
+	Workers int
 
 	F  [Q3]*grid.Field3D
 	nF [Q3]*grid.Field3D
@@ -62,6 +70,18 @@ type Solver3D struct {
 	Rho, Vx, Vy, Vz *grid.Field3D
 
 	scratch []float64
+
+	// Static per-node structure cached at construction (see Solver2D).
+	cells   []fluid.CellType
+	rowOpen []bool // indexed z*ny + y
+	plan    *filter.Plan3D
+
+	par                       pool.Runner
+	relaxFn, shiftFn, macroFn func(lo, hi int)
+	runFn                     filter.RunFunc
+	shiftSrc, shiftDst        *grid.Field3D
+	shiftDx, shiftDy, shiftDz int
+	xbuf                      []float64
 }
 
 // NewSolver3D allocates a D3Q15 solver initialized to equilibrium at
@@ -82,15 +102,40 @@ func NewSolver3D(nx, ny, nz int, par fluid.Params, mask func(x, y, z int) fluid.
 		Vy:      grid.NewField3D(nx, ny, nz, 1),
 		Vz:      grid.NewField3D(nx, ny, nz, 1),
 		scratch: make([]float64, nx*ny*nz),
+		cells:   make([]fluid.CellType, nx*ny*nz),
+		rowOpen: make([]bool, ny*nz),
+		plan:    filter.NewPlan3D(nx, ny, nz, mask),
 	}
 	for i := 0; i < Q3; i++ {
 		s.F[i] = grid.NewField3D(nx, ny, nz, 1)
 		s.nF[i] = grid.NewField3D(nx, ny, nz, 1)
 	}
+	for z := 0; z < nz; z++ {
+		for y := 0; y < ny; y++ {
+			open := true
+			for x := 0; x < nx; x++ {
+				c := mask(x, y, z)
+				s.cells[(z*ny+y)*nx+x] = c
+				if c != fluid.Interior {
+					open = false
+				}
+			}
+			s.rowOpen[z*ny+y] = open
+		}
+	}
+	s.relaxFn = s.relaxPlanes
+	s.shiftFn = s.shiftPlanes
+	s.macroFn = s.macroPlanes
+	s.runFn = s.run
 	s.Rho.Fill(par.Rho0)
 	s.InitEquilibrium()
 	return s, nil
 }
+
+// SetWorkers sets the intra-rank slab count.
+func (s *Solver3D) SetWorkers(n int) { s.Workers = n }
+
+func (s *Solver3D) run(n int, fn func(lo, hi int)) { s.par.Run(s.Workers, n, fn) }
 
 // InitEquilibrium sets every interior fluid population to the equilibrium
 // of the current fluid variables and zeroes ghost and wall populations,
@@ -119,8 +164,13 @@ func (s *Solver3D) InitEquilibrium() {
 
 // feq3 is the D3Q15 BGK equilibrium distribution.
 func feq3(i int, rho, vx, vy, vz float64) float64 {
+	return feq3v(i, rho, vx, vy, vz, vx*vx+vy*vy+vz*vz)
+}
+
+// feq3v is feq3 with the speed-squared hoisted out of the per-population
+// loop; the expression is identical, so the hoisting is bit-exact.
+func feq3v(i int, rho, vx, vy, vz, v2 float64) float64 {
 	cu := float64(cx3[i])*vx + float64(cy3[i])*vy + float64(cz3[i])*vz
-	v2 := vx*vx + vy*vy + vz*vz
 	return w3[i] * rho * (1 + 3*cu + 4.5*cu*cu - 1.5*v2)
 }
 
@@ -163,40 +213,50 @@ func (s *Solver3D) Compute(phase int) {
 	}
 }
 
-func (s *Solver3D) relax() {
+func (s *Solver3D) relax() { s.run(s.Rho.NZ, s.relaxFn) }
+
+// relaxPlanes relaxes z-planes [z0, z1). All-Interior rows skip the
+// cell-type dispatch; each node writes only its own populations.
+func (s *Solver3D) relaxPlanes(z0, z1 int) {
 	p := s.Par
 	invTau := 1 / s.Tau
 	forced := p.ForceX != 0 || p.ForceY != 0 || p.ForceZ != 0
-	for z := 0; z < s.Rho.NZ; z++ {
-		for y := 0; y < s.Rho.NY; y++ {
-			for x := 0; x < s.Rho.NX; x++ {
-				switch s.Mask(x, y, z) {
-				case fluid.Wall:
-					for i := 1; i < Q3; i++ {
-						if j := opp3[i]; j > i {
-							a, b := s.F[i].At(x, y, z), s.F[j].At(x, y, z)
-							s.F[i].Set(x, y, z, b)
-							s.F[j].Set(x, y, z, a)
+	nx, ny := s.Rho.NX, s.Rho.NY
+	for z := z0; z < z1; z++ {
+		for y := 0; y < ny; y++ {
+			open := s.rowOpen[z*ny+y]
+			row := (z*ny + y) * nx
+			for x := 0; x < nx; x++ {
+				if !open {
+					switch s.cells[row+x] {
+					case fluid.Wall:
+						for i := 1; i < Q3; i++ {
+							if j := opp3[i]; j > i {
+								a, b := s.F[i].At(x, y, z), s.F[j].At(x, y, z)
+								s.F[i].Set(x, y, z, b)
+								s.F[j].Set(x, y, z, a)
+							}
 						}
+						continue
+					case fluid.Inlet:
+						for i := 0; i < Q3; i++ {
+							s.F[i].Set(x, y, z, feq3(i, p.InletRho, p.InletVx, p.InletVy, p.InletVz))
+						}
+						continue
+					case fluid.Outlet:
+						vx, vy, vz := s.Vx.At(x, y, z), s.Vy.At(x, y, z), s.Vz.At(x, y, z)
+						for i := 0; i < Q3; i++ {
+							s.F[i].Set(x, y, z, feq3(i, p.OutletRho, vx, vy, vz))
+						}
+						continue
 					}
-					continue
-				case fluid.Inlet:
-					for i := 0; i < Q3; i++ {
-						s.F[i].Set(x, y, z, feq3(i, p.InletRho, p.InletVx, p.InletVy, p.InletVz))
-					}
-					continue
-				case fluid.Outlet:
-					vx, vy, vz := s.Vx.At(x, y, z), s.Vy.At(x, y, z), s.Vz.At(x, y, z)
-					for i := 0; i < Q3; i++ {
-						s.F[i].Set(x, y, z, feq3(i, p.OutletRho, vx, vy, vz))
-					}
-					continue
 				}
 				rho := s.Rho.At(x, y, z)
 				vx, vy, vz := s.Vx.At(x, y, z), s.Vy.At(x, y, z), s.Vz.At(x, y, z)
+				v2 := vx*vx + vy*vy + vz*vz
 				for i := 0; i < Q3; i++ {
 					f := s.F[i].At(x, y, z)
-					s.F[i].Set(x, y, z, f+(feq3(i, rho, vx, vy, vz)-f)*invTau)
+					s.F[i].Set(x, y, z, f+(feq3v(i, rho, vx, vy, vz, v2)-f)*invTau)
 				}
 				if forced {
 					for i := 1; i < Q3; i++ {
@@ -210,28 +270,42 @@ func (s *Solver3D) relax() {
 }
 
 // shift streams populations to interior targets, reading ghost sources
-// filled by the three exchange sweeps.
+// filled by the three exchange sweeps. Targets are interior-only, so the
+// z-plane slabs cover the whole write range.
 func (s *Solver3D) shift() {
-	nx, ny, nz := s.Rho.NX, s.Rho.NY, s.Rho.NZ
 	for i := 0; i < Q3; i++ {
-		dx, dy, dz := cx3[i], cy3[i], cz3[i]
-		src, dst := s.F[i], s.nF[i]
-		for z := 0; z < nz; z++ {
-			for y := 0; y < ny; y++ {
-				for x := 0; x < nx; x++ {
-					dst.Set(x, y, z, src.At(x-dx, y-dy, z-dz))
-				}
-			}
-		}
-		src.Swap(dst)
+		s.shiftSrc, s.shiftDst = s.F[i], s.nF[i]
+		s.shiftDx, s.shiftDy, s.shiftDz = cx3[i], cy3[i], cz3[i]
+		s.run(s.Rho.NZ, s.shiftFn)
+		s.F[i].Swap(s.nF[i])
 	}
 }
 
-func (s *Solver3D) macroscopics() {
-	for z := 0; z < s.Rho.NZ; z++ {
-		for y := 0; y < s.Rho.NY; y++ {
-			for x := 0; x < s.Rho.NX; x++ {
-				if s.Mask(x, y, z) == fluid.Wall {
+// shiftPlanes streams the current population into dst z-planes [z0, z1).
+func (s *Solver3D) shiftPlanes(z0, z1 int) {
+	nx, ny := s.Rho.NX, s.Rho.NY
+	src, dst := s.shiftSrc, s.shiftDst
+	dx, dy, dz := s.shiftDx, s.shiftDy, s.shiftDz
+	for z := z0; z < z1; z++ {
+		for y := 0; y < ny; y++ {
+			for x := 0; x < nx; x++ {
+				dst.Set(x, y, z, src.At(x-dx, y-dy, z-dz))
+			}
+		}
+	}
+}
+
+func (s *Solver3D) macroscopics() { s.run(s.Rho.NZ, s.macroFn) }
+
+// macroPlanes recomputes the fluid variables on z-planes [z0, z1).
+func (s *Solver3D) macroPlanes(z0, z1 int) {
+	nx, ny := s.Rho.NX, s.Rho.NY
+	for z := z0; z < z1; z++ {
+		for y := 0; y < ny; y++ {
+			open := s.rowOpen[z*ny+y]
+			row := (z*ny + y) * nx
+			for x := 0; x < nx; x++ {
+				if !open && s.cells[row+x] == fluid.Wall {
 					s.Rho.Set(x, y, z, s.Par.Rho0)
 					s.Vx.Set(x, y, z, 0)
 					s.Vy.Set(x, y, z, 0)
@@ -256,21 +330,27 @@ func (s *Solver3D) macroscopics() {
 }
 
 func (s *Solver3D) applyFilter() {
-	filter.Apply3D([]*grid.Field3D{s.Rho, s.Vx, s.Vy, s.Vz}, s.Par.Eps, s.Mask, s.scratch)
+	s.plan.Apply([]*grid.Field3D{s.Rho, s.Vx, s.Vy, s.Vz}, s.Par.Eps, s.scratch, s.runFn)
 }
+
+// crossingTab3 caches, per face direction, the population indices with a
+// positive velocity component along it — Pack/Unpack run in the hot
+// exchange path and must not allocate.
+var crossingTab3 = func() (tab [6][]int) {
+	for _, dir := range decomp.Dirs3() {
+		dx, dy, dz := dir.Delta()
+		for i := 1; i < Q3; i++ {
+			if cx3[i]*dx+cy3[i]*dy+cz3[i]*dz > 0 {
+				tab[dir] = append(tab[dir], i)
+			}
+		}
+	}
+	return tab
+}()
 
 // crossing3 returns the population indices with a positive velocity
 // component along face direction dir.
-func crossing3(dir decomp.Dir3) []int {
-	var out []int
-	dx, dy, dz := dir.Delta()
-	for i := 1; i < Q3; i++ {
-		if cx3[i]*dx+cy3[i]*dy+cz3[i]*dz > 0 {
-			out = append(out, i)
-		}
-	}
-	return out
-}
+func crossing3(dir decomp.Dir3) []int { return crossingTab3[dir] }
 
 // sweepRegion returns the send (interior) or receive (ghost) strip for a
 // face, extended over the ghost layers of the axes swept before it.
@@ -321,26 +401,30 @@ func (s *Solver3D) MsgLen(phase int, dir decomp.Dir3) int {
 	return len(crossing3(dir)) * s.sweepRegion(dir, true).Len()
 }
 
-// StepSerial advances a standalone solver one step with periodic wrapping.
+// StepSerial advances a standalone solver one step with periodic wrapping,
+// reusing the solver's exchange buffer so the steady-state step does not
+// allocate.
 func (s *Solver3D) StepSerial(px, py, pz bool) {
 	for ph := 0; ph < s.Phases(); ph++ {
 		s.Compute(ph)
 		if !s.Exchanges(ph) {
 			continue
 		}
-		dirs := s.ExchangeDirs(ph)
-		periodic := map[decomp.Dir3]bool{
-			decomp.West3: px, decomp.East3: px,
-			decomp.South3: py, decomp.North3: py,
-			decomp.Down3: pz, decomp.Up3: pz,
-		}
-		var buf []float64
-		for _, d := range dirs {
-			if !periodic[d] {
+		for _, d := range s.ExchangeDirs(ph) {
+			var wraps bool
+			switch d {
+			case decomp.West3, decomp.East3:
+				wraps = px
+			case decomp.South3, decomp.North3:
+				wraps = py
+			case decomp.Down3, decomp.Up3:
+				wraps = pz
+			}
+			if !wraps {
 				continue
 			}
-			buf = s.Pack(ph, d, buf[:0])
-			s.Unpack(ph, d.Opposite(), buf)
+			s.xbuf = s.Pack(ph, d, s.xbuf[:0])
+			s.Unpack(ph, d.Opposite(), s.xbuf)
 		}
 	}
 }

@@ -1,0 +1,95 @@
+package pool
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+// TestRunCoversRangeOnce checks every index is visited exactly once for
+// a spread of worker counts, including counts above n and above
+// GOMAXPROCS.
+func TestRunCoversRangeOnce(t *testing.T) {
+	var r Runner
+	for _, workers := range []int{0, 1, 2, 3, 7, 16, runtime.GOMAXPROCS(0) + 3} {
+		for _, n := range []int{1, 2, 5, 64, 1000} {
+			counts := make([]int32, n)
+			r.Run(workers, n, func(lo, hi int) {
+				for i := lo; i < hi; i++ {
+					atomic.AddInt32(&counts[i], 1)
+				}
+			})
+			for i, c := range counts {
+				if c != 1 {
+					t.Fatalf("workers=%d n=%d: index %d visited %d times", workers, n, i, c)
+				}
+			}
+		}
+	}
+}
+
+// TestRunSlabsAreOrderedAndDisjoint checks the deterministic slab
+// geometry: contiguous, increasing, covering [0, n).
+func TestRunSlabsAreOrderedAndDisjoint(t *testing.T) {
+	var r Runner
+	type slab struct{ lo, hi int }
+	var got []slab
+	lock := make(chan struct{}, 1)
+	r.Run(4, 103, func(lo, hi int) {
+		lock <- struct{}{}
+		got = append(got, slab{lo, hi})
+		<-lock
+	})
+	if len(got) == 0 {
+		t.Fatal("no slabs ran")
+	}
+	covered := make([]bool, 103)
+	for _, s := range got {
+		if s.lo >= s.hi {
+			t.Fatalf("empty slab [%d,%d)", s.lo, s.hi)
+		}
+		for i := s.lo; i < s.hi; i++ {
+			if covered[i] {
+				t.Fatalf("index %d covered twice", i)
+			}
+			covered[i] = true
+		}
+	}
+	for i, c := range covered {
+		if !c {
+			t.Fatalf("index %d not covered", i)
+		}
+	}
+}
+
+// TestRunZeroAlloc pins the steady-state contract: a Run with a
+// pre-built closure allocates nothing.
+func TestRunZeroAlloc(t *testing.T) {
+	var r Runner
+	sink := make([]float64, 4096)
+	fn := func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			sink[i]++
+		}
+	}
+	r.Run(4, len(sink), fn) // warm the pool
+	allocs := testing.AllocsPerRun(50, func() {
+		r.Run(4, len(sink), fn)
+	})
+	if allocs > 0 {
+		t.Errorf("Run allocates %.1f objects per call, want 0", allocs)
+	}
+}
+
+func TestDefaultPerRank(t *testing.T) {
+	gmp := runtime.GOMAXPROCS(0)
+	if got := DefaultPerRank(1); got != gmp {
+		t.Errorf("DefaultPerRank(1) = %d, want GOMAXPROCS = %d", got, gmp)
+	}
+	if got := DefaultPerRank(10 * gmp); got != 1 {
+		t.Errorf("DefaultPerRank(%d) = %d, want 1", 10*gmp, got)
+	}
+	if got := DefaultPerRank(0); got != gmp {
+		t.Errorf("DefaultPerRank(0) = %d, want %d", got, gmp)
+	}
+}
