@@ -24,7 +24,10 @@
 // sweep (the scenario engine: seeded workload specs fanned across seeds
 // and policy/backfill knobs, every cell trace-verified — exits non-zero
 // on a replay divergence — emitting the summary table as text and JSON;
-// see -sweep-seeds and -sweep-out).
+// see -sweep-seeds and -sweep-out), autoscale (malleable jobs: the
+// supply/demand control loop vs static ranks on a diurnal-churn
+// workload, both runs trace-verified; exits non-zero unless the
+// autoscaler improves makespan or utilization; see -autoscale-seed).
 // `-list` prints the available names sorted, one per line.
 package main
 
@@ -72,12 +75,13 @@ func main() {
 		"crash":       crashRecovery,
 		"hetero":      hetero,
 		"sweep":       sweep,
+		"autoscale":   autoscaleExp,
 	}
 	order := []string{
 		"speed-table", "mtable", "fig5", "fig6", "fig7", "fig8", "fig9",
 		"fig10", "fig11", "fig12", "fig13", "ablation", "migration", "convergence",
 		"networks", "balancing", "farm", "reclaim", "crash", "hetero",
-		"sweep",
+		"sweep", "autoscale",
 	}
 	if *list {
 		names := make([]string, 0, len(all))

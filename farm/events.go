@@ -26,6 +26,12 @@ type (
 	JobPreempted = sched.JobPreempted
 	// JobMigrated: displaced ranks moved to replacement hosts mid-run.
 	JobMigrated = sched.JobMigrated
+	// JobResized: a running job re-decomposed onto a new rank count at a
+	// step boundary (Job.Resize or an autoscale decision).
+	JobResized = sched.JobResized
+	// AutoscaleDecision: the control loop recorded a grow/shrink/hold
+	// decision (and its reason) on the stream, whether or not it acted.
+	AutoscaleDecision = sched.AutoscaleDecision
 	// JobFinished: a job completed; carries its final metrics record.
 	JobFinished = sched.JobFinished
 	// HostReclaimed: a regular user sat back down at a reserved host.
@@ -194,7 +200,7 @@ func (f *Farm) track(ev Event) {
 		}
 		return
 	default:
-		return // migrations keep the job running; host/checkpoint events carry no job state
+		return // migrations and resizes keep the job running; host/checkpoint/autoscale events carry no job state
 	}
 	f.mu.Lock()
 	j := f.jobs[id]

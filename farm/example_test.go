@@ -40,6 +40,54 @@ func ExampleNew() {
 	// demo ran on 4 hosts, status finished
 }
 
+// ExampleJob_Resize widens a running job from another goroutine: the
+// job suspends at a step boundary, re-splits its global grid onto six
+// subregions, and finishes on the wider placement with its numerics
+// unchanged. The scenario hook here only sequences the demo — it holds
+// the event loop at one virtual instant until the request is in
+// flight, so the example is deterministic.
+func ExampleJob_Resize() {
+	pool := farm.NewPaperCluster()
+	pool.Advance(30 * time.Minute)
+
+	grow := make(chan struct{})
+	asked := make(chan struct{})
+	f, err := farm.New(pool,
+		farm.WithSeed(1),
+		farm.WithScenario(time.Second, func(t time.Duration, _ *farm.Cluster) {
+			if t == 10*time.Second { // ten virtual seconds in: widen the job
+				close(grow)
+				<-asked
+			}
+		}))
+	if err != nil {
+		log.Fatal(err)
+	}
+	job, err := f.Submit(farm.JobSpec{
+		ID: "elastic", Method: "lb2d", JX: 2, JY: 2, Side: 40, Steps: 5000,
+	}, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	errc := make(chan error, 1)
+	go func() {
+		<-grow
+		close(asked)
+		errc <- job.Resize(context.Background(), 6)
+	}()
+	f.Drain()
+	if _, err := f.Run(context.Background()); err != nil {
+		log.Fatal(err)
+	}
+	if err := <-errc; err != nil {
+		log.Fatal(err)
+	}
+	rec, _ := job.Metrics()
+	fmt.Printf("resized %d time(s), finished on %d hosts\n", rec.Resizes, rec.Ranks)
+	// Output:
+	// resized 1 time(s), finished on 6 hosts
+}
+
 // ExampleJob_Wait drives the farm on one goroutine and blocks on the
 // job handle from another — the supported pattern for a long-running
 // farm serving live submissions.

@@ -114,6 +114,57 @@ func (j *Job) Wait(ctx context.Context) error {
 	}
 }
 
+// Resize asks the farm to re-decompose the running job onto n ranks at
+// the event loop's current virtual time: the job suspends at a step
+// boundary, re-splits onto a near-square lattice of n subregions within
+// its original global grid, and continues bit-identically on the new
+// placement (growing claims extra hosts, shrinking releases the tail).
+// Resizing to the current rank count is a no-op.
+//
+// Safe from any goroutine; the request is processed by the next loop
+// iteration and Resize blocks until it is answered, the context is done
+// (ctx.Err()), or the farm's Run returns without answering (an error
+// wrapping ErrStopped). Failures are typed — ErrUnknownJob,
+// ErrNotRunning, ErrNoCapacity, or the workload's refusal (a simulation
+// with the seam-dependent filter enabled cannot resize) — and leave the
+// job running on its old decomposition.
+func (j *Job) Resize(ctx context.Context, n int) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	f := j.f
+	ch := f.s.RequestResize(j.id, n)
+	for {
+		f.mu.Lock()
+		rs := f.run
+		f.mu.Unlock()
+		select {
+		case err := <-ch:
+			return err
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-rs.done:
+			// That run returned; the request may have been answered in its
+			// last iteration — and a newer Run may yet drain the queue.
+			select {
+			case err := <-ch:
+				return err
+			default:
+			}
+			f.mu.Lock()
+			superseded := f.run != rs
+			f.mu.Unlock()
+			if superseded {
+				continue
+			}
+			if rs.err != nil {
+				return fmt.Errorf("farm: resize %s: %w: %w", j.id, ErrStopped, rs.err)
+			}
+			return fmt.Errorf("farm: resize %s: %w", j.id, ErrStopped)
+		}
+	}
+}
+
 // finish records the job's completion.
 func (j *Job) finish(rec JobMetrics) {
 	j.mu.Lock()

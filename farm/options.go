@@ -32,6 +32,9 @@ type config struct {
 	scenario      func(t time.Duration, c *cluster.Cluster)
 	scenarioEvery time.Duration
 
+	autoscale      func(t time.Duration, ctl AutoscaleControl)
+	autoscaleEvery time.Duration
+
 	logf func(format string, args ...any)
 }
 
@@ -53,6 +56,14 @@ func (cfg config) validate() error {
 	if cfg.scenario == nil && cfg.scenarioEvery > 0 {
 		return fmt.Errorf("farm: %w: WithScenario interval %v with a nil callback",
 			ErrInvalidSpec, cfg.scenarioEvery)
+	}
+	if cfg.autoscale != nil && cfg.autoscaleEvery <= 0 {
+		return fmt.Errorf("farm: %w: WithAutoscaler interval %v is not positive; the control loop would never tick",
+			ErrInvalidSpec, cfg.autoscaleEvery)
+	}
+	if cfg.autoscale == nil && cfg.autoscaleEvery > 0 {
+		return fmt.Errorf("farm: %w: WithAutoscaler interval %v with a nil callback",
+			ErrInvalidSpec, cfg.autoscaleEvery)
 	}
 	if cfg.ckptEvery < 0 {
 		return fmt.Errorf("farm: %w: WithCheckpoint interval %v is negative",
@@ -85,6 +96,8 @@ func (cfg config) apply(s *sched.Scheduler) {
 	s.CheckpointGap = cfg.ckptGap
 	s.Scenario = cfg.scenario
 	s.ScenarioEvery = cfg.scenarioEvery
+	s.Autoscale = cfg.autoscale
+	s.AutoscaleEvery = cfg.autoscaleEvery
 	s.Logf = cfg.logf
 }
 
@@ -154,6 +167,22 @@ func WithCheckpoint(dir string, every, gap time.Duration) Option {
 // changes.
 func WithScenario(every time.Duration, fn func(t time.Duration, c *cluster.Cluster)) Option {
 	return func(cfg *config) { cfg.scenarioEvery = every; cfg.scenario = fn }
+}
+
+// WithAutoscaler attaches a resize control loop: fn is invoked on the
+// scheduling goroutine at every multiple of every of virtual time while
+// the farm has work, right after the scenario tick of the same instant,
+// so the controller observes the scripted user activity it must react
+// to. The control handle samples queue depth, pool utilization and
+// per-job progress, and actuates grow/shrink decisions synchronously —
+// farm/autoscale provides a ready-made supply/demand policy with
+// hysteresis and cooldown to plug in here. The interval must be
+// positive when fn is set: New and Restore reject every <= 0 with
+// ErrInvalidSpec. Not persisted in checkpoints — re-attach the same
+// controller to a restored farm (like WithScenario) or the virtual-time
+// grid, and with it the bit-identity guarantee, changes.
+func WithAutoscaler(every time.Duration, fn func(t time.Duration, ctl AutoscaleControl)) Option {
+	return func(cfg *config) { cfg.autoscaleEvery = every; cfg.autoscale = fn }
 }
 
 // WithLogf attaches a debug log sink — a thin string adapter over the

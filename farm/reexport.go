@@ -102,6 +102,30 @@ var (
 	// ErrInterrupted is wrapped by Run when Interrupt (or a canceled
 	// context) aborts the event loop.
 	ErrInterrupted = sched.ErrInterrupted
+	// ErrUnknownJob flags a resize request for an ID the farm never
+	// accepted.
+	ErrUnknownJob = sched.ErrUnknownJob
+	// ErrNotRunning flags a resize request for a job the farm knows but
+	// is not currently running (pending, queued, suspended or finished):
+	// only a placed job has a reservation to grow or shrink.
+	ErrNotRunning = sched.ErrNotRunning
+)
+
+// AutoscaleControl is the deterministic handle a WithAutoscaler callback
+// receives each control tick: Sample captures the farm's supply/demand
+// state at one virtual instant, Resize actuates a decision synchronously,
+// and Decide records a policy decision on the event stream without
+// acting. The handle is only valid inside the callback invocation that
+// received it.
+type AutoscaleControl = sched.AutoscaleControl
+
+// Sample is one control tick's view of the farm — queue depth, free and
+// total hosts, and a JobSample per running and queued job with progress
+// extrapolated to the tick's instant. The farm/autoscale policies decide
+// over it.
+type (
+	Sample    = sched.Sample
+	JobSample = sched.JobSample
 )
 
 // Summary aggregates a finished farm run; JobMetrics is one job's
@@ -121,6 +145,11 @@ type RNG = sched.SplitMix
 
 // NewRNG returns a seeded RNG.
 func NewRNG(seed int64) *RNG { return sched.NewSplitMix(seed) }
+
+// Shape is a decomposition's per-axis span assignment — the zero value
+// means uniform splitting. StepTimer implementations receive the shape
+// being priced; UniformShape and WeightedShape build them.
+type Shape = decomp.Shape
 
 // StepTimer estimates the wall-clock seconds one integration step of a
 // job takes on a given placement; the farm prices every placement,

@@ -1,0 +1,166 @@
+package workload
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"time"
+)
+
+// Spec file identification, mirroring the trace header: a spec file is
+// self-describing, and readers reject what they do not understand
+// instead of misparsing it.
+const (
+	SpecFormat  = "farm-workload-spec"
+	SpecVersion = 1
+)
+
+// ErrBadSpec: the spec file is unreadable — wrong format or version,
+// malformed JSON, an unknown field (a likely typo), or a duration that
+// does not parse. Semantic failures (a cohort without shapes, a
+// negative horizon) surface through Spec.Validate and wrap
+// farm.ErrInvalidSpec instead.
+var ErrBadSpec = errors.New("unsupported workload spec")
+
+// specFile is the on-disk envelope around a Spec.
+type specFile struct {
+	Format  string          `json:"format"`
+	Version int             `json:"version"`
+	Spec    json.RawMessage `json:"spec"`
+}
+
+// durationKeys are the Spec fields that hold virtual durations; in a
+// spec file they may be written either as Go duration strings ("45s",
+// "1h30m") or as bare nanosecond numbers (the trace convention).
+var durationKeys = map[string]bool{
+	"Horizon": true,                             // Spec
+	"MeanGap": true, "Start": true, "Day": true, // Arrivals
+	"Every": true, "At": true, "Until": true, "Dwell": true, // Scenario
+}
+
+// LoadSpec reads a user-authored workload spec file: the JSON envelope
+// {"format": "farm-workload-spec", "version": 1, "spec": {...}} around
+// a Spec, with durations accepted as Go duration strings or nanosecond
+// numbers. The loaded spec is fully validated — unreadable files wrap
+// ErrBadSpec, semantically invalid specs wrap farm.ErrInvalidSpec — so
+// a nil error means the spec can drive Generate and Record as is.
+func LoadSpec(path string) (*Spec, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("workload: read spec: %w", err)
+	}
+	spec, err := ParseSpec(data)
+	if err != nil {
+		return nil, fmt.Errorf("spec %s: %w", path, err)
+	}
+	return spec, nil
+}
+
+// ParseSpec parses and validates spec-file bytes; see LoadSpec.
+func ParseSpec(data []byte) (*Spec, error) {
+	var file specFile
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&file); err != nil {
+		return nil, fmt.Errorf("workload: %w: %v", ErrBadSpec, err)
+	}
+	if file.Format != SpecFormat {
+		return nil, fmt.Errorf("workload: %w: format %q, want %q", ErrBadSpec, file.Format, SpecFormat)
+	}
+	if file.Version != SpecVersion {
+		return nil, fmt.Errorf("workload: %w: version %d, this build reads version %d", ErrBadSpec, file.Version, SpecVersion)
+	}
+	if len(file.Spec) == 0 {
+		return nil, fmt.Errorf("workload: %w: no spec body", ErrBadSpec)
+	}
+	normalized, err := normalizeDurations(file.Spec)
+	if err != nil {
+		return nil, err
+	}
+	var spec Spec
+	dec = json.NewDecoder(bytes.NewReader(normalized))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		return nil, fmt.Errorf("workload: %w: %v", ErrBadSpec, err)
+	}
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	return &spec, nil
+}
+
+// normalizeDurations rewrites duration-valued string fields ("45s") to
+// the nanosecond numbers encoding/json expects for time.Duration.
+func normalizeDurations(raw json.RawMessage) (json.RawMessage, error) {
+	var v any
+	if err := json.Unmarshal(raw, &v); err != nil {
+		return nil, fmt.Errorf("workload: %w: %v", ErrBadSpec, err)
+	}
+	conv, err := convertDurations(v, "")
+	if err != nil {
+		return nil, err
+	}
+	out, err := json.Marshal(conv)
+	if err != nil {
+		return nil, fmt.Errorf("workload: %w: %v", ErrBadSpec, err)
+	}
+	return out, nil
+}
+
+// convertDurations walks the decoded JSON; key is the field name the
+// value sits under (slices keep their parent's key).
+func convertDurations(v any, key string) (any, error) {
+	switch x := v.(type) {
+	case map[string]any:
+		for k, mv := range x {
+			nv, err := convertDurations(mv, k)
+			if err != nil {
+				return nil, err
+			}
+			x[k] = nv
+		}
+		return x, nil
+	case []any:
+		for i, ev := range x {
+			nv, err := convertDurations(ev, key)
+			if err != nil {
+				return nil, err
+			}
+			x[i] = nv
+		}
+		return x, nil
+	case string:
+		if durationKeys[key] {
+			d, err := time.ParseDuration(x)
+			if err != nil {
+				return nil, fmt.Errorf("workload: %w: field %s: %v", ErrBadSpec, key, err)
+			}
+			return int64(d), nil
+		}
+		return x, nil
+	default:
+		return v, nil
+	}
+}
+
+// WriteSpecFile serializes the spec into its file envelope as indented
+// JSON (durations as nanosecond numbers) — the round-trip partner of
+// LoadSpec for generating starter files to edit by hand.
+func WriteSpecFile(spec *Spec, path string) error {
+	if err := spec.Validate(); err != nil {
+		return err
+	}
+	body, err := json.Marshal(spec)
+	if err != nil {
+		return fmt.Errorf("workload: encode spec: %w", err)
+	}
+	data, err := json.MarshalIndent(specFile{
+		Format: SpecFormat, Version: SpecVersion, Spec: body,
+	}, "", "  ")
+	if err != nil {
+		return fmt.Errorf("workload: encode spec: %w", err)
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

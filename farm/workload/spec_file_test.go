@@ -1,0 +1,138 @@
+package workload_test
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/farm"
+	"repro/farm/workload"
+)
+
+// specText is a hand-authored spec file exercising both duration
+// spellings: Go strings ("30m") and nanosecond numbers.
+const specText = `{
+  "format": "farm-workload-spec",
+  "version": 1,
+  "spec": {
+    "Name": "authored",
+    "Horizon": "30m",
+    "Cohorts": [
+      {
+        "Name": "eng",
+        "Weight": 2,
+        "Arrivals": {"Process": "poisson", "MeanGap": "4m", "Start": 120000000000},
+        "Jobs": {
+          "Shapes": [{"Method": "lb2d", "JX": 2, "JY": 2, "JZ": 0, "Weight": 1}],
+          "SideMin": 20, "SideMax": 40,
+          "Steps": {"Median": 4000, "Sigma": 0.4, "Min": 0, "Max": 0}
+        },
+        "Priorities": [{"Value": 0, "Weight": 1}],
+        "MaxJobs": 5
+      }
+    ],
+    "Scenario": {
+      "Every": "1m",
+      "Events": [
+        {"Kind": "reclaim-storm", "At": "8m", "Until": "18m", "Every": "5m", "Hosts": 2, "Dwell": "4m"}
+      ]
+    }
+  }
+}`
+
+// TestLoadSpec: a user-authored file loads into the exact Spec literal,
+// string and numeric durations both accepted, and drives Generate.
+func TestLoadSpec(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "authored.json")
+	if err := os.WriteFile(path, []byte(specText), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	spec, err := workload.LoadSpec(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := &workload.Spec{
+		Name:    "authored",
+		Horizon: 30 * time.Minute,
+		Cohorts: []workload.Cohort{{
+			Name:     "eng",
+			Weight:   2,
+			Arrivals: workload.Arrivals{Process: workload.Poisson, MeanGap: 4 * time.Minute, Start: 2 * time.Minute},
+			Jobs: workload.JobDist{
+				Shapes:  []workload.ShapeChoice{{Method: "lb2d", JX: 2, JY: 2, Weight: 1}},
+				SideMin: 20, SideMax: 40,
+				Steps: workload.StepsDist{Median: 4000, Sigma: 0.4},
+			},
+			Priorities: []workload.IntChoice{{Value: 0, Weight: 1}},
+			MaxJobs:    5,
+		}},
+		Scenario: &workload.Scenario{
+			Every: time.Minute,
+			Events: []workload.Event{{
+				Kind: workload.ReclaimStorm, At: 8 * time.Minute, Until: 18 * time.Minute,
+				Every: 5 * time.Minute, Hosts: 2, Dwell: 4 * time.Minute,
+			}},
+		},
+	}
+	if !reflect.DeepEqual(spec, want) {
+		t.Errorf("loaded spec differs\ngot:  %+v\nwant: %+v", spec, want)
+	}
+	jobs, err := workload.Generate(spec, 7)
+	if err != nil {
+		t.Fatalf("generate from loaded spec: %v", err)
+	}
+	if len(jobs) == 0 {
+		t.Error("loaded spec generated no jobs")
+	}
+}
+
+// TestLoadSpecRejections: unreadable files wrap ErrBadSpec with the
+// failure named; semantically invalid specs wrap farm.ErrInvalidSpec.
+func TestLoadSpecRejections(t *testing.T) {
+	cases := []struct {
+		name string
+		text string
+		want error
+	}{
+		{"alien-format", `{"format": "not-a-spec", "version": 1, "spec": {}}`, workload.ErrBadSpec},
+		{"future-version", `{"format": "farm-workload-spec", "version": 99, "spec": {}}`, workload.ErrBadSpec},
+		{"no-body", `{"format": "farm-workload-spec", "version": 1}`, workload.ErrBadSpec},
+		{"typo-field", `{"format": "farm-workload-spec", "version": 1,
+			"spec": {"Name": "x", "Horizont": "30m"}}`, workload.ErrBadSpec},
+		{"bad-duration", `{"format": "farm-workload-spec", "version": 1,
+			"spec": {"Name": "x", "Horizon": "half past nine"}}`, workload.ErrBadSpec},
+		{"not-json", `{"format": `, workload.ErrBadSpec},
+		{"semantically-empty", `{"format": "farm-workload-spec", "version": 1,
+			"spec": {"Name": "x", "Horizon": "30m", "Cohorts": []}}`, farm.ErrInvalidSpec},
+	}
+	for _, tc := range cases {
+		if _, err := workload.ParseSpec([]byte(tc.text)); !errors.Is(err, tc.want) {
+			t.Errorf("%s: ParseSpec returned %v, want %v", tc.name, err, tc.want)
+		}
+	}
+	if _, err := workload.LoadSpec(filepath.Join(t.TempDir(), "missing.json")); err == nil ||
+		!strings.Contains(err.Error(), "read spec") {
+		t.Errorf("missing file: %v, want a read error", err)
+	}
+}
+
+// TestSpecFileRoundTrip: WriteSpecFile output loads back equal, so a
+// generated starter file is a valid authoring seed.
+func TestSpecFileRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "round.json")
+	spec := testSpec()
+	if err := workload.WriteSpecFile(spec, path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := workload.LoadSpec(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(loaded, spec) {
+		t.Errorf("round-tripped spec differs\ngot:  %+v\nwant: %+v", loaded, spec)
+	}
+}

@@ -6,10 +6,12 @@ import (
 	"errors"
 	"fmt"
 	"os"
+	"strings"
 	"sync"
 	"time"
 
 	"repro/farm"
+	"repro/farm/autoscale"
 )
 
 // Trace file identification. A trace is self-describing: Format names
@@ -18,6 +20,14 @@ import (
 const (
 	TraceFormat  = "farm-workload-trace"
 	TraceVersion = 1
+	// TraceMinor is the revision within TraceVersion this build writes
+	// when it needs to. Minor 1 adds malleability: an autoscaler plan in
+	// the header and resize/autoscale events in the stream. Traces
+	// without either still serialize as plain v1 (minor omitted), so
+	// recorded pins from older builds stay byte-identical; v1.0 traces
+	// that nevertheless contain resize events are rejected as corrupt
+	// rather than silently diverging on replay.
+	TraceMinor = 1
 )
 
 // Trace sentinels, checkable with errors.Is.
@@ -48,19 +58,53 @@ var (
 type Trace struct {
 	Format  string `json:"format"`
 	Version int    `json:"version"`
-	Name    string `json:"name"`
+	// Minor is the revision within Version (see TraceMinor); 0 is the
+	// original v1 schema.
+	Minor int    `json:"minor,omitempty"`
+	Name  string `json:"name"`
 
-	Seed            int64         `json:"seed"`
-	Policy          string        `json:"policy"`
-	Backfill        string        `json:"backfill"`
-	Timer           string        `json:"timer,omitempty"`
-	Pool            string        `json:"pool,omitempty"`
-	CheckpointEvery time.Duration `json:"checkpoint_every,omitempty"`
-	CheckpointGap   time.Duration `json:"checkpoint_gap,omitempty"`
-	Scenario        *Scenario     `json:"scenario,omitempty"`
+	Seed            int64          `json:"seed"`
+	Policy          string         `json:"policy"`
+	Backfill        string         `json:"backfill"`
+	Timer           string         `json:"timer,omitempty"`
+	Pool            string         `json:"pool,omitempty"`
+	CheckpointEvery time.Duration  `json:"checkpoint_every,omitempty"`
+	CheckpointGap   time.Duration  `json:"checkpoint_gap,omitempty"`
+	Scenario        *Scenario      `json:"scenario,omitempty"`
+	Autoscale       *AutoscalePlan `json:"autoscale,omitempty"`
 
 	Jobs   []farm.JobSpec `json:"jobs"`
 	Events []string       `json:"events"`
+}
+
+// AutoscalePlan is the declarative form of the farm/autoscale control
+// loop, so an autoscaled run rides in a trace as pure data the way a
+// Scenario does: Every is the control-tick grid, the policy knobs are
+// SupplyDemand's, Confirm and Cooldown the Engine's smoothing. Compile
+// builds a fresh Engine per run — the engine is stateful, so a plan is
+// never shared between runs.
+type AutoscalePlan struct {
+	Every     time.Duration `json:"every"`
+	Spare     int           `json:"spare,omitempty"`
+	Chunk     int           `json:"chunk,omitempty"`
+	MaxFactor float64       `json:"max_factor,omitempty"`
+	Confirm   int           `json:"confirm,omitempty"`
+	Cooldown  time.Duration `json:"cooldown,omitempty"`
+}
+
+// Compile turns the plan into the farm option wiring a fresh engine.
+func (p *AutoscalePlan) Compile() (farm.Option, error) {
+	if p.Every <= 0 {
+		return nil, fmt.Errorf("workload: %w: autoscale tick %v is not positive", farm.ErrInvalidSpec, p.Every)
+	}
+	eng := &autoscale.Engine{
+		Policy: autoscale.SupplyDemand{
+			Spare: p.Spare, Chunk: p.Chunk, MaxFactor: p.MaxFactor,
+		},
+		Confirm:  p.Confirm,
+		Cooldown: p.Cooldown,
+	}
+	return eng.Option(p.Every), nil
 }
 
 // RunConfig is the knob set of one recorded or replayed run. The zero
@@ -81,6 +125,10 @@ type RunConfig struct {
 	CheckpointEvery time.Duration
 	CheckpointGap   time.Duration
 	CheckpointDir   string
+	// Autoscale, when non-nil, attaches the supply/demand control loop;
+	// a trace recorded with it is written at v1.1 (the plan and the
+	// resize/autoscale events are part of what Verify must reproduce).
+	Autoscale *AutoscalePlan
 }
 
 // Built-in registry names.
@@ -184,6 +232,13 @@ func build(cfg RunConfig, sc *Scenario) (*farm.Farm, error) {
 		}
 		opts = append(opts, farm.WithScenario(every, fn))
 	}
+	if cfg.Autoscale != nil {
+		opt, err := cfg.Autoscale.Compile()
+		if err != nil {
+			return nil, err
+		}
+		opts = append(opts, opt)
+	}
 	if cfg.CheckpointEvery > 0 {
 		if cfg.CheckpointDir == "" {
 			return nil, fmt.Errorf("workload: %w: checkpoint interval %v without a directory", farm.ErrInvalidSpec, cfg.CheckpointEvery)
@@ -248,9 +303,17 @@ func Record(spec *Spec, cfg RunConfig) (*Trace, farm.Summary, error) {
 	if err != nil {
 		return nil, farm.Summary{}, err
 	}
+	minor := 0
+	if cfg.Autoscale != nil || hasResizeEvents(lines) {
+		// Malleability in the header or the stream: the trace needs the
+		// v1.1 schema. Anything else stays plain v1 so pins recorded
+		// before malleability existed remain byte-identical.
+		minor = TraceMinor
+	}
 	return &Trace{
 		Format:          TraceFormat,
 		Version:         TraceVersion,
+		Minor:           minor,
 		Name:            spec.Name,
 		Seed:            cfg.Seed,
 		Policy:          cfg.Policy.String(),
@@ -260,9 +323,21 @@ func Record(spec *Spec, cfg RunConfig) (*Trace, farm.Summary, error) {
 		CheckpointEvery: cfg.CheckpointEvery,
 		CheckpointGap:   cfg.CheckpointGap,
 		Scenario:        spec.Scenario,
+		Autoscale:       cfg.Autoscale,
 		Jobs:            jobs,
 		Events:          lines,
 	}, sum, nil
+}
+
+// hasResizeEvents reports whether any recorded event line is a resize
+// or an autoscale decision (their stable String forms).
+func hasResizeEvents(lines []string) bool {
+	for _, l := range lines {
+		if strings.Contains(l, " resized ") || strings.Contains(l, " autoscale ") {
+			return true
+		}
+	}
+	return false
 }
 
 // config rebuilds the recorded RunConfig (parsing the policy and
@@ -285,6 +360,7 @@ func (tr *Trace) config(ckptDir string) (RunConfig, error) {
 		CheckpointEvery: tr.CheckpointEvery,
 		CheckpointGap:   tr.CheckpointGap,
 		CheckpointDir:   ckptDir,
+		Autoscale:       tr.Autoscale,
 	}, nil
 }
 
@@ -361,13 +437,24 @@ func ReplayOpenLoop(tr *Trace, cfg RunConfig) (farm.Summary, error) {
 	return sum, err
 }
 
-// check rejects traces this package does not understand.
+// check rejects traces this package does not understand — including
+// internally inconsistent ones: a v1.0 trace that nevertheless carries
+// resize or autoscale material was written by a buggy tool or edited
+// by hand, and replaying it would diverge silently at the first resize
+// the replay does not reproduce.
 func (tr *Trace) check() error {
 	if tr.Format != TraceFormat {
 		return fmt.Errorf("workload: %w: format %q, want %q", ErrBadTrace, tr.Format, TraceFormat)
 	}
 	if tr.Version != TraceVersion {
 		return fmt.Errorf("workload: %w: version %d, this build reads version %d", ErrBadTrace, tr.Version, TraceVersion)
+	}
+	if tr.Minor > TraceMinor {
+		return fmt.Errorf("workload: %w: version %d.%d, this build reads up to %d.%d", ErrBadTrace, tr.Version, tr.Minor, TraceVersion, TraceMinor)
+	}
+	if tr.Minor < TraceMinor && (tr.Autoscale != nil || hasResizeEvents(tr.Events)) {
+		return fmt.Errorf("workload: %w: v%d.%d trace contains resize/autoscale material, which needs v%d.%d; re-record it",
+			ErrBadTrace, tr.Version, tr.Minor, TraceVersion, TraceMinor)
 	}
 	return nil
 }

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"repro/internal/cluster"
+	"repro/internal/decomp"
 	"repro/internal/dump"
 	"repro/internal/syncfile"
 )
@@ -41,6 +42,11 @@ type Job struct {
 	round     int
 	done      map[int]bool
 	onRebuild func(rank int, prog Program)
+
+	// resplit re-cuts a full set of same-step dumps onto a new decomposition
+	// shape; wired by the constructors to resplit2D/resplit3D over the
+	// config. See Job.Resize.
+	resplit func(states []*dump.State, sh decomp.Shape) ([]*dump.State, error)
 
 	// Optional virtual-cluster placement.
 	Cluster *cluster.Cluster
@@ -116,6 +122,16 @@ func NewJob2D(cfg *Config2D, factory TransportFactory, sync *syncfile.Sync, unti
 	}
 	j.onRebuild = func(rank int, prog Program) {
 		jp.progs[rank] = prog.(*Program2D)
+	}
+	j.resplit = func(states []*dump.State, sh decomp.Shape) ([]*dump.State, error) {
+		out, err := resplit2D(cfg, states, sh)
+		if err != nil {
+			return nil, err
+		}
+		// The old rank set is gone; onRebuild refills the map as Resize
+		// rebuilds each new rank.
+		jp.progs = make(map[int]*Program2D)
+		return out, nil
 	}
 	return j, jp, nil
 }
@@ -450,6 +466,14 @@ func NewJob3D(cfg *Config3D, factory TransportFactory, sync *syncfile.Sync, unti
 	}
 	j.onRebuild = func(rank int, prog Program) {
 		jp.progs[rank] = prog.(*Program3D)
+	}
+	j.resplit = func(states []*dump.State, sh decomp.Shape) ([]*dump.State, error) {
+		out, err := resplit3D(cfg, states, sh)
+		if err != nil {
+			return nil, err
+		}
+		jp.progs = make(map[int]*Program3D)
+		return out, nil
 	}
 	return j, jp, nil
 }

@@ -1,0 +1,285 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/decomp"
+	"repro/internal/dump"
+)
+
+// Resize re-decomposes a running job onto a new lattice of subregions at a
+// step boundary: every process synchronizes and dumps (the section-5.1
+// suspend protocol), the dumped interiors are stitched back into the global
+// fields, the global grid is split again under the new shape, and one fresh
+// worker per new rank restarts at the same step. It is the malleable-job
+// extension of migration — migration moves ranks between hosts, Resize
+// changes how many ranks there are.
+//
+// The continued computation is bitwise identical to an uninterrupted run,
+// under one precondition enforced here: the fourth-order filter must be off
+// (Par.Eps == 0). The filter's applicability test is seam-dependent — it
+// consults neighbouring subregion geometry — so changing the decomposition
+// would change which nodes get filtered and the results would (correctly)
+// diverge. Everything else in both methods depends only on global node
+// coordinates, so a re-split reproduces the exact global state: interiors
+// are authoritative at a step boundary, and each new rank's ghost layers
+// are filled with its new neighbours' edge values — exactly the state the
+// last halo exchange would have produced.
+//
+// Like every dump/restore path (migration, checkpointing), bit-identity
+// also requires an enclosed domain: every face of the global grid must be
+// periodic or covered by Wall/Inlet/Outlet cells. On an open face the
+// solvers read beyond-domain ghost values that live in their double-swap
+// buffers — only the current buffer is dumped, so no restore can
+// reproduce them (the hidden buffer's ghosts alternate with step parity).
+// Enclosed domains never read those ghosts, which is what makes the whole
+// dump-file protocol exact.
+//
+// The shape must cover the job's global grid (spans summing to GX/GY[/GZ]);
+// the rank count after the resize is len(sh.X)*len(sh.Y)[*len(sh.Z)].
+// Decompositions with deactivated subregions are not resizable: the re-split
+// activates every subregion, which would change the gathered solution in
+// the wall regions.
+func (j *Job) Resize(sh decomp.Shape) error {
+	if j.resplit == nil {
+		return fmt.Errorf("core: resize: job has no re-split program (built without NewJob2D/NewJob3D)")
+	}
+	states, err := j.Suspend()
+	if err != nil {
+		return fmt.Errorf("core: resize: %w", err)
+	}
+	newStates, err := j.resplit(states, sh)
+	if err != nil {
+		// Validation failed before anything was mutated; put the job back
+		// the way it was so the caller still holds a consistent run.
+		if rerr := j.Resume(states); rerr != nil {
+			return fmt.Errorf("core: resize: %w (and resume after failure: %v)", err, rerr)
+		}
+		return fmt.Errorf("core: resize: %w", err)
+	}
+
+	// The old rank->host map describes ranks that no longer exist; clear
+	// it so a later ReleaseHosts cannot unassign hosts a scheduler gave
+	// away. The caller re-places the resized job (PlaceOn). A failed
+	// resplit above keeps the map — the rollback resumed the job on its
+	// old placement.
+	for rank := range j.hostOf {
+		delete(j.hostOf, rank)
+	}
+
+	// Restart with a fresh worker set at the new rank count — Resume's loop,
+	// minus its fixed-P assumption.
+	j.workers = make(map[int]*Worker)
+	j.done = make(map[int]bool)
+	j.epoch++
+	for _, st := range newStates {
+		st.Epoch = j.epoch
+		prog, err := j.Rebuild(st)
+		if err != nil {
+			return fmt.Errorf("core: resize: rebuilding rank %d: %w", st.Rank, err)
+		}
+		if j.workersOverride > 0 {
+			if p, ok := prog.(workerBudgeted); ok {
+				p.SetWorkers(j.workersOverride)
+			}
+		}
+		w, err := NewWorkerAt(prog, j.Factory, j.epoch, j.events, st.Step)
+		if err != nil {
+			return fmt.Errorf("core: resize: restarting rank %d: %w", st.Rank, err)
+		}
+		j.workers[st.Rank] = w
+		if j.onRebuild != nil {
+			j.onRebuild(st.Rank, prog)
+		}
+	}
+	for _, w := range j.workers {
+		j.wireSync(w)
+	}
+	for _, w := range j.workers {
+		go w.Start(j.Until)
+	}
+	return nil
+}
+
+// commonStep verifies every dump is at the same step boundary and returns it.
+func commonStep(states []*dump.State) (int, error) {
+	if len(states) == 0 {
+		return 0, fmt.Errorf("no dumps")
+	}
+	s := states[0].Step
+	for _, st := range states {
+		if st.Step != s {
+			return 0, fmt.Errorf("dumps at different steps (%d and %d)", s, st.Step)
+		}
+	}
+	return s, nil
+}
+
+// resplit2D is the 2D re-split program: old-shape dumps in, new-shape dumps
+// out, both at the same step. The config's decomposition is replaced in
+// place on success, so the job's Rebuild closure and the caller's gather
+// path follow the new lattice.
+func resplit2D(cfg *Config2D, states []*dump.State, sh decomp.Shape) ([]*dump.State, error) {
+	if cfg.Par.Eps != 0 {
+		return nil, fmt.Errorf("resize requires the fourth-order filter off (Par.Eps = %v, want 0): filter applicability is seam-dependent, so a re-split would change the results", cfg.Par.Eps)
+	}
+	if cfg.D.P() != cfg.D.Total() {
+		return nil, fmt.Errorf("resize of a decomposition with %d of %d subregions deactivated",
+			cfg.D.Total()-cfg.D.P(), cfg.D.Total())
+	}
+	if len(states) != cfg.D.P() {
+		return nil, fmt.Errorf("%d dumps for %d ranks", len(states), cfg.D.P())
+	}
+	step, err := commonStep(states)
+	if err != nil {
+		return nil, err
+	}
+	newD, err := decomp.New2DShaped(sh, cfg.D.Stencil)
+	if err != nil {
+		return nil, err
+	}
+	if newD.GX != cfg.D.GX || newD.GY != cfg.D.GY {
+		return nil, fmt.Errorf("shape covers %dx%d, grid is %dx%d", newD.GX, newD.GY, cfg.D.GX, cfg.D.GY)
+	}
+	newD.PeriodicX, newD.PeriodicY = cfg.D.PeriodicX, cfg.D.PeriodicY
+
+	// Stitch each dumped field's interiors into global arrays. Dump arrays
+	// are raw storage with one ghost layer: index (y+1)*(NX+2)+(x+1).
+	oldD := cfg.D
+	global := make(map[string][]float64)
+	for _, st := range states {
+		sub := oldD.ByRank(st.Rank)
+		for name, data := range st.Fields {
+			g, ok := global[name]
+			if !ok {
+				g = make([]float64, oldD.GX*oldD.GY)
+				global[name] = g
+			}
+			for y := 0; y < sub.NY; y++ {
+				for x := 0; x < sub.NX; x++ {
+					g[(sub.Y0+y)*oldD.GX+(sub.X0+x)] = data[(y+1)*(sub.NX+2)+(x+1)]
+				}
+			}
+		}
+	}
+
+	// Commit the new decomposition, then cut one dump per new rank: a fresh
+	// program supplies the local geometry (and the constant-equilibrium
+	// values beyond a non-periodic boundary), and every in-domain node —
+	// interiors and ghosts — is overwritten from the stitched globals.
+	*cfg.D = *newD
+	out := make([]*dump.State, 0, cfg.D.P())
+	for rank := 0; rank < cfg.D.P(); rank++ {
+		prog, err := cfg.NewProgram(rank)
+		if err != nil {
+			return nil, fmt.Errorf("cutting rank %d: %w", rank, err)
+		}
+		st := prog.DumpState(step, 0)
+		sub := cfg.D.ByRank(rank)
+		for name, data := range st.Fields {
+			g := global[name]
+			if g == nil {
+				return nil, fmt.Errorf("old dumps lack field %q", name)
+			}
+			for y := -1; y <= sub.NY; y++ {
+				gy := wrapCoord(sub.Y0+y, cfg.D.GY, cfg.D.PeriodicY)
+				if gy < 0 || gy >= cfg.D.GY {
+					continue
+				}
+				for x := -1; x <= sub.NX; x++ {
+					gx := wrapCoord(sub.X0+x, cfg.D.GX, cfg.D.PeriodicX)
+					if gx < 0 || gx >= cfg.D.GX {
+						continue
+					}
+					data[(y+1)*(sub.NX+2)+(x+1)] = g[gy*cfg.D.GX+gx]
+				}
+			}
+		}
+		out = append(out, st)
+	}
+	return out, nil
+}
+
+// resplit3D is the 3D analogue of resplit2D.
+func resplit3D(cfg *Config3D, states []*dump.State, sh decomp.Shape) ([]*dump.State, error) {
+	if cfg.Par.Eps != 0 {
+		return nil, fmt.Errorf("resize requires the fourth-order filter off (Par.Eps = %v, want 0): filter applicability is seam-dependent, so a re-split would change the results", cfg.Par.Eps)
+	}
+	if len(states) != cfg.D.P() {
+		return nil, fmt.Errorf("%d dumps for %d ranks", len(states), cfg.D.P())
+	}
+	step, err := commonStep(states)
+	if err != nil {
+		return nil, err
+	}
+	newD, err := decomp.New3DShaped(sh)
+	if err != nil {
+		return nil, err
+	}
+	if newD.GX != cfg.D.GX || newD.GY != cfg.D.GY || newD.GZ != cfg.D.GZ {
+		return nil, fmt.Errorf("shape covers %dx%dx%d, grid is %dx%dx%d",
+			newD.GX, newD.GY, newD.GZ, cfg.D.GX, cfg.D.GY, cfg.D.GZ)
+	}
+	newD.PeriodicX, newD.PeriodicY, newD.PeriodicZ = cfg.D.PeriodicX, cfg.D.PeriodicY, cfg.D.PeriodicZ
+
+	oldD := cfg.D
+	global := make(map[string][]float64)
+	for _, st := range states {
+		sub := oldD.ByRank(st.Rank)
+		sx, sxy := sub.NX+2, (sub.NX+2)*(sub.NY+2)
+		for name, data := range st.Fields {
+			g, ok := global[name]
+			if !ok {
+				g = make([]float64, oldD.GX*oldD.GY*oldD.GZ)
+				global[name] = g
+			}
+			for z := 0; z < sub.NZ; z++ {
+				for y := 0; y < sub.NY; y++ {
+					for x := 0; x < sub.NX; x++ {
+						gi := ((sub.Z0+z)*oldD.GY+(sub.Y0+y))*oldD.GX + (sub.X0 + x)
+						g[gi] = data[(z+1)*sxy+(y+1)*sx+(x+1)]
+					}
+				}
+			}
+		}
+	}
+
+	*cfg.D = *newD
+	out := make([]*dump.State, 0, cfg.D.P())
+	for rank := 0; rank < cfg.D.P(); rank++ {
+		prog, err := cfg.NewProgram(rank)
+		if err != nil {
+			return nil, fmt.Errorf("cutting rank %d: %w", rank, err)
+		}
+		st := prog.DumpState(step, 0)
+		sub := cfg.D.ByRank(rank)
+		sx, sxy := sub.NX+2, (sub.NX+2)*(sub.NY+2)
+		for name, data := range st.Fields {
+			g := global[name]
+			if g == nil {
+				return nil, fmt.Errorf("old dumps lack field %q", name)
+			}
+			for z := -1; z <= sub.NZ; z++ {
+				gz := wrapCoord(sub.Z0+z, cfg.D.GZ, cfg.D.PeriodicZ)
+				if gz < 0 || gz >= cfg.D.GZ {
+					continue
+				}
+				for y := -1; y <= sub.NY; y++ {
+					gy := wrapCoord(sub.Y0+y, cfg.D.GY, cfg.D.PeriodicY)
+					if gy < 0 || gy >= cfg.D.GY {
+						continue
+					}
+					for x := -1; x <= sub.NX; x++ {
+						gx := wrapCoord(sub.X0+x, cfg.D.GX, cfg.D.PeriodicX)
+						if gx < 0 || gx >= cfg.D.GX {
+							continue
+						}
+						data[(z+1)*sxy+(y+1)*sx+(x+1)] = g[(gz*cfg.D.GY+gy)*cfg.D.GX+gx]
+					}
+				}
+			}
+		}
+		out = append(out, st)
+	}
+	return out, nil
+}

@@ -1,0 +1,195 @@
+package core
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/decomp"
+	"repro/internal/fluid"
+	"repro/internal/syncfile"
+)
+
+// resizeCfg2D builds a filter-off channel config (Eps = 0 is the resize
+// precondition: filter applicability is seam-dependent).
+func resizeCfg2D(t *testing.T, method string, jx, jy int) *Config2D {
+	t.Helper()
+	d, err := decomp.New2D(jx, jy, 24, 16, decomp.Full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.PeriodicX = true
+	par := fluid.DefaultParams()
+	par.Nu = 0.1
+	par.Eps = 0
+	par.ForceX = 1e-5
+	return &Config2D{
+		Method: method,
+		Par:    par,
+		Mask:   fluid.ChannelMask2D(24, 16),
+		D:      d,
+	}
+}
+
+func resizeCfg3D(t *testing.T, method string, jx, jy, jz int) *Config3D {
+	t.Helper()
+	d, err := decomp.New3D(jx, jy, jz, 12, 10, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The duct mask walls only the y faces; x and z must be periodic so
+	// the domain is enclosed — the dump/restore bit-identity precondition
+	// (see Resize's doc comment).
+	d.PeriodicX = true
+	d.PeriodicZ = true
+	par := fluid.DefaultParams()
+	par.Nu = 0.1
+	par.Eps = 0
+	par.ForceX = 1e-5
+	return &Config3D{
+		Method: method,
+		Par:    par,
+		Mask:   fluid.ChannelMask3D(12, 10, 8),
+		D:      d,
+	}
+}
+
+// startJob2D launches a job and waits until every rank has advanced past
+// the given step, so a mid-run Resize really interrupts in-flight compute.
+func startJob2D(t *testing.T, cfg *Config2D, steps int) (*Job, *JobPrograms2D) {
+	t.Helper()
+	sf, err := syncfile.New(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sf.Poll = time.Millisecond
+	job, progs, err := NewJob2D(cfg, HubFactory(), sf, steps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	job.Start()
+	return job, progs
+}
+
+// TestResize2DBitIdentical: grow then shrink a running 2D job and compare
+// the final fields bit-for-bit with the sequential reference, for both
+// methods.
+func TestResize2DBitIdentical(t *testing.T) {
+	const steps = 30
+	for _, method := range []string{MethodLB, MethodFD} {
+		t.Run(method, func(t *testing.T) {
+			ref, _, err := RunSequential2D(resizeCfg2D(t, method, 2, 2), steps)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			cfg := resizeCfg2D(t, method, 2, 2)
+			job, progs := startJob2D(t, cfg, steps)
+			// Grow 4 -> 6 ranks.
+			if err := job.Resize(decomp.UniformShape2D(3, 2, 24, 16)); err != nil {
+				t.Fatalf("grow: %v", err)
+			}
+			if got := job.P(); got != 6 {
+				t.Fatalf("after grow P = %d, want 6", got)
+			}
+			// Shrink 6 -> 2 ranks.
+			if err := job.Resize(decomp.UniformShape2D(2, 1, 24, 16)); err != nil {
+				t.Fatalf("shrink: %v", err)
+			}
+			if got := job.P(); got != 2 {
+				t.Fatalf("after shrink P = %d, want 2", got)
+			}
+			if err := job.WaitDone(); err != nil {
+				t.Fatal(err)
+			}
+			job.Shutdown()
+
+			got := progs.Gather(steps)
+			if got.NX != ref.NX || got.NY != ref.NY {
+				t.Fatalf("result shape %dx%d, want %dx%d", got.NX, got.NY, ref.NX, ref.NY)
+			}
+			for i := range ref.Rho {
+				for _, pair := range [][2][]float64{{ref.Rho, got.Rho}, {ref.Vx, got.Vx}, {ref.Vy, got.Vy}} {
+					if d := math.Abs(pair[0][i] - pair[1][i]); d != 0 {
+						t.Fatalf("resized solution differs at index %d by %g", i, d)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestResize3DBitIdentical is the 3D analogue: grow 2 -> 4 ranks mid-run.
+func TestResize3DBitIdentical(t *testing.T) {
+	const steps = 12
+	for _, method := range []string{MethodLB, MethodFD} {
+		t.Run(method, func(t *testing.T) {
+			ref, _, err := RunSequential3D(resizeCfg3D(t, method, 2, 1, 1), steps)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			cfg := resizeCfg3D(t, method, 2, 1, 1)
+			sf, err := syncfile.New(t.TempDir())
+			if err != nil {
+				t.Fatal(err)
+			}
+			sf.Poll = time.Millisecond
+			job, progs, err := NewJob3D(cfg, HubFactory(), sf, steps)
+			if err != nil {
+				t.Fatal(err)
+			}
+			job.Start()
+			if err := job.Resize(decomp.UniformShape3D(2, 2, 1, 12, 10, 8)); err != nil {
+				t.Fatalf("grow: %v", err)
+			}
+			if got := job.P(); got != 4 {
+				t.Fatalf("after grow P = %d, want 4", got)
+			}
+			if err := job.WaitDone(); err != nil {
+				t.Fatal(err)
+			}
+			job.Shutdown()
+
+			got := progs.Gather(steps)
+			for i := range ref.Rho {
+				for _, pair := range [][2][]float64{{ref.Rho, got.Rho}, {ref.Vx, got.Vx}, {ref.Vy, got.Vy}, {ref.Vz, got.Vz}} {
+					if d := math.Abs(pair[0][i] - pair[1][i]); d != 0 {
+						t.Fatalf("resized 3D solution differs at index %d by %g", i, d)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestResizeRequiresFilterOff: with the fourth-order filter on, Resize
+// refuses (seam-dependent applicability) and the job keeps running to a
+// correct unresized completion.
+func TestResizeRequiresFilterOff(t *testing.T) {
+	const steps = 10
+	cfg := resizeCfg2D(t, MethodLB, 2, 2)
+	cfg.Par.Eps = 0.01
+	ref, _, err := RunSequential2D(resizeCfg2D(t, MethodLB, 2, 2), steps)
+	_ = ref
+	if err != nil {
+		t.Fatal(err)
+	}
+	job, progs := startJob2D(t, cfg, steps)
+	err = job.Resize(decomp.UniformShape2D(3, 2, 24, 16))
+	if err == nil || !strings.Contains(err.Error(), "filter") {
+		t.Fatalf("resize with Eps != 0: err = %v, want filter precondition error", err)
+	}
+	// The failed resize resumed the job on its old decomposition.
+	if got := job.P(); got != 4 {
+		t.Fatalf("after refused resize P = %d, want 4", got)
+	}
+	if err := job.WaitDone(); err != nil {
+		t.Fatal(err)
+	}
+	job.Shutdown()
+	if got := progs.Gather(steps); got.ActiveRegions != 4 {
+		t.Fatalf("gathered ActiveRegions = %d, want 4", got.ActiveRegions)
+	}
+}

@@ -76,6 +76,13 @@ func (s *Scheduler) interruptExit() error {
 // its spec: for a real simulation, a fresh core.Job wrapped in a
 // CoreWorkload (whose rank states Restore then loads from the checkpoint
 // and whose next Resume rebuilds the workers through the dump path).
+//
+// The spec passed in is the job's EFFECTIVE spec: for a job that was
+// resized mid-run it carries the current (post-resize) lattice in
+// JX/JY/JZ with the original global grid pinned in GX/GY/GZ, so a
+// factory that sizes its simulation from the spec builds a job matching
+// the checkpointed rank dumps. Factories must honor spec.Grid() and
+// spec.Ranks() rather than assuming the submitted geometry.
 type WorkloadFactory func(spec JobSpec) (Workload, error)
 
 // WorkloadRegistry maps job IDs to factories, the hook Restore uses to
@@ -276,10 +283,22 @@ func restoreJob(dir, statesDir string, jr ckpt.JobRecord, c *cluster.Cluster, re
 	spec := JobSpec{
 		ID: jr.ID, Method: jr.Method,
 		JX: jr.JX, JY: jr.JY, JZ: jr.JZ, Side: jr.Side, Steps: jr.Steps,
+		GX: jr.GridX, GY: jr.GridY, GZ: jr.GridZ,
 		Priority: jr.Priority, User: jr.User, Weight: jr.Weight, Submit: jr.Submit,
 	}
 	if err := spec.Validate(); err != nil {
 		return nil, fmt.Errorf("sched: restore: %w", err)
+	}
+	// The factory and shape checks see the job's effective geometry: the
+	// current lattice with the original grid pinned, when resizes moved
+	// the job off its spec (mirroring jobState.espec).
+	espec := spec
+	if jr.CurJX > 0 {
+		espec.GX, espec.GY, espec.GZ = spec.Grid()
+		espec.JX, espec.JY, espec.JZ = jr.CurJX, jr.CurJY, jr.CurJZ
+		if err := espec.Validate(); err != nil {
+			return nil, fmt.Errorf("sched: restore %s: resized lattice: %w", jr.ID, err)
+		}
 	}
 	var states []*dump.State
 	if len(jr.StateSteps) > 0 {
@@ -293,7 +312,7 @@ func restoreJob(dir, statesDir string, jr ckpt.JobRecord, c *cluster.Cluster, re
 	var w Workload
 	if f := reg[jr.ID]; f != nil {
 		var err error
-		w, err = f(spec)
+		w, err = f(espec)
 		if err != nil {
 			return nil, fmt.Errorf("sched: restore %s: workload factory: %w", jr.ID, err)
 		}
@@ -330,6 +349,11 @@ func restoreJob(dir, statesDir string, jr ckpt.JobRecord, c *cluster.Cluster, re
 		backfilled: jr.Backfilled,
 		migrations: jr.Migrations,
 		repricings: jr.Repricings,
+
+		curJX: jr.CurJX, curJY: jr.CurJY, curJZ: jr.CurJZ,
+		resizes:     jr.Resizes,
+		growRanks:   jr.GrowRanks,
+		shrinkRanks: jr.ShrinkRanks,
 	}
 	if jr.Phase != ckpt.PhaseRunning {
 		return js, nil
@@ -362,27 +386,32 @@ func recordJob(js *jobState, phase string) ckpt.JobRecord {
 		ID: js.spec.ID, Method: js.spec.Method,
 		JX: js.spec.JX, JY: js.spec.JY, JZ: js.spec.JZ,
 		Side: js.spec.Side, Steps: js.spec.Steps,
+		GridX: js.spec.GX, GridY: js.spec.GY, GridZ: js.spec.GZ,
+		CurJX: js.curJX, CurJY: js.curJY, CurJZ: js.curJZ,
 		Priority: js.spec.Priority, User: js.spec.User,
 		Weight: js.spec.Weight, Submit: js.spec.Submit,
 
-		Phase:      phase,
-		Remaining:  js.remaining,
-		StepSec:    js.stepSec,
-		PlacedAt:   js.placedAt,
-		FinishAt:   js.finishAt,
-		SpansX:     js.shape.X,
-		SpansY:     js.shape.Y,
-		SpansZ:     js.shape.Z,
-		Imbalance:  js.imbalance,
-		Started:    js.started,
-		Live:       js.live,
-		FirstStart: js.firstStart,
-		DoneAt:     js.doneAt,
-		Served:     js.served,
-		Preempts:   js.preempts,
-		Backfilled: js.backfilled,
-		Migrations: js.migrations,
-		Repricings: js.repricings,
+		Phase:       phase,
+		Resizes:     js.resizes,
+		GrowRanks:   js.growRanks,
+		ShrinkRanks: js.shrinkRanks,
+		Remaining:   js.remaining,
+		StepSec:     js.stepSec,
+		PlacedAt:    js.placedAt,
+		FinishAt:    js.finishAt,
+		SpansX:      js.shape.X,
+		SpansY:      js.shape.Y,
+		SpansZ:      js.shape.Z,
+		Imbalance:   js.imbalance,
+		Started:     js.started,
+		Live:        js.live,
+		FirstStart:  js.firstStart,
+		DoneAt:      js.doneAt,
+		Served:      js.served,
+		Preempts:    js.preempts,
+		Backfilled:  js.backfilled,
+		Migrations:  js.migrations,
+		Repricings:  js.repricings,
 	}
 	if phase == ckpt.PhaseRunning {
 		jr.Hosts = make([]string, len(js.res.Hosts))

@@ -134,6 +134,45 @@ func (e JobFinished) String() string {
 		e.T, e.ID, e.Job.Wait(), e.Job.Served, e.Job.Preemptions, e.Job.Migrations)
 }
 
+// JobResized records a running job re-decomposed onto a new rank count
+// mid-run (the malleable-job extension of migration): the reservation
+// grew or shrank, the workload re-split at a step boundary, and the job
+// was repriced on the new placement.
+type JobResized struct {
+	T  time.Duration
+	ID string
+	// From and To are the old and new rank counts.
+	From, To int
+	// Hosts is the new placement, indexed by rank.
+	Hosts   []string
+	StepSec float64
+	Finish  time.Duration
+}
+
+func (e JobResized) When() time.Duration { return e.T }
+func (e JobResized) String() string {
+	return fmt.Sprintf("t=%v resized %s %d>%d on [%s] step=%.6gs finish=%v",
+		e.T, e.ID, e.From, e.To, strings.Join(e.Hosts, " "), e.StepSec, e.Finish)
+}
+
+// AutoscaleDecision records one control-loop decision — grow, shrink or
+// hold, with the policy's reason — whether or not it was actuated, so
+// traces show why the rank counts moved (or did not).
+type AutoscaleDecision struct {
+	T  time.Duration
+	ID string
+	// Action is the policy's verdict ("grow", "shrink", "hold").
+	Action   string
+	From, To int
+	Reason   string
+}
+
+func (e AutoscaleDecision) When() time.Duration { return e.T }
+func (e AutoscaleDecision) String() string {
+	return fmt.Sprintf("t=%v autoscale %s %s %d>%d reason=%q",
+		e.T, e.Action, e.ID, e.From, e.To, e.Reason)
+}
+
 // HostReclaimed records a regular user sitting back down at a
 // workstation a farm job had reserved: the scheduler vacates the host
 // (migration or suspension) within the same round.

@@ -26,6 +26,9 @@ type jobJSON struct {
 	Backfilled  bool    `json:"backfilled"`
 	Migrations  int     `json:"migrations"`
 	Repricings  int     `json:"repricings"`
+	Resizes     int     `json:"resizes"`
+	GrowRanks   int     `json:"grow_ranks"`
+	ShrinkRanks int     `json:"shrink_ranks"`
 	Weighted    bool    `json:"weighted"`
 	Imbalance   float64 `json:"imbalance"`
 }
@@ -41,6 +44,9 @@ type summaryJSON struct {
 	Backfills     int       `json:"backfills"`
 	Migrations    int       `json:"migrations"`
 	Repricings    int       `json:"repricings"`
+	Resizes       int       `json:"resizes"`
+	GrowRanks     int       `json:"grow_ranks"`
+	ShrinkRanks   int       `json:"shrink_ranks"`
 	Reclaims      int       `json:"reclaims"`
 	MeanImbalance float64   `json:"mean_imbalance"`
 	MaxImbalance  float64   `json:"max_imbalance"`
@@ -66,6 +72,9 @@ func (s Summary) MarshalJSON() ([]byte, error) {
 			Backfilled:  j.Backfilled,
 			Migrations:  j.Migrations,
 			Repricings:  j.Repricings,
+			Resizes:     j.Resizes,
+			GrowRanks:   j.GrowRanks,
+			ShrinkRanks: j.ShrinkRanks,
 			Weighted:    j.Weighted,
 			Imbalance:   j.Imbalance,
 		}
@@ -80,6 +89,9 @@ func (s Summary) MarshalJSON() ([]byte, error) {
 		Backfills:     s.Backfills,
 		Migrations:    s.Migrations,
 		Repricings:    s.Repricings,
+		Resizes:       s.Resizes,
+		GrowRanks:     s.GrowRanks,
+		ShrinkRanks:   s.ShrinkRanks,
 		Reclaims:      s.Reclaims,
 		MeanImbalance: s.MeanImbalance,
 		MaxImbalance:  s.MaxImbalance,

@@ -9,7 +9,8 @@ import (
 // TestSummaryMarshalJSON pins the wire schema byte-for-byte: field
 // names, ordering and second-valued durations. Sweep outputs and any
 // downstream tooling parse this form; changing it is a schema break and
-// must be deliberate.
+// must be deliberate. (The resizes/grow_ranks/shrink_ranks fields were
+// one such deliberate extension, when jobs became malleable.)
 func TestSummaryMarshalJSON(t *testing.T) {
 	s := Summary{
 		Jobs: []Job{{
@@ -17,12 +18,14 @@ func TestSummaryMarshalJSON(t *testing.T) {
 			Submit: 30 * time.Second, FirstStart: 90 * time.Second,
 			Done: 10 * time.Minute, Served: 8 * time.Minute,
 			Preemptions: 1, Backfilled: true, Migrations: 2, Repricings: 2,
+			Resizes: 2, GrowRanks: 8, ShrinkRanks: 4,
 			Weighted: true, Imbalance: 1.25,
 		}},
 		Makespan: 10 * time.Minute, MeanWait: time.Minute, MaxWait: time.Minute,
 		Utilization: 0.64, Preemptions: 1, Backfills: 1,
-		Migrations: 2, Repricings: 2, Reclaims: 3,
-		MeanImbalance: 1.25, MaxImbalance: 1.25, Weighted: 1, EASYDegraded: 0,
+		Migrations: 2, Repricings: 2, Resizes: 2, GrowRanks: 8, ShrinkRanks: 4,
+		Reclaims: 3, MeanImbalance: 1.25, MaxImbalance: 1.25, Weighted: 1,
+		EASYDegraded: 0,
 	}
 	got, err := json.Marshal(s)
 	if err != nil {
@@ -30,9 +33,11 @@ func TestSummaryMarshalJSON(t *testing.T) {
 	}
 	want := `{"jobs":[{"id":"duct-wide","ranks":20,"priority":1,"submit_s":30,` +
 		`"wait_s":60,"done_s":600,"served_s":480,"preemptions":1,"backfilled":true,` +
-		`"migrations":2,"repricings":2,"weighted":true,"imbalance":1.25}],` +
+		`"migrations":2,"repricings":2,"resizes":2,"grow_ranks":8,"shrink_ranks":4,` +
+		`"weighted":true,"imbalance":1.25}],` +
 		`"makespan_s":600,"mean_wait_s":60,"max_wait_s":60,"utilization":0.64,` +
-		`"preemptions":1,"backfills":1,"migrations":2,"repricings":2,"reclaims":3,` +
+		`"preemptions":1,"backfills":1,"migrations":2,"repricings":2,` +
+		`"resizes":2,"grow_ranks":8,"shrink_ranks":4,"reclaims":3,` +
 		`"mean_imbalance":1.25,"max_imbalance":1.25,"weighted":1,"easy_degraded":0}`
 	if string(got) != want {
 		t.Errorf("schema drifted:\n got %s\nwant %s", got, want)
@@ -45,6 +50,7 @@ func TestSummaryMarshalJSON(t *testing.T) {
 	}
 	if string(got) != `{"jobs":[],"makespan_s":0,"mean_wait_s":0,"max_wait_s":0,`+
 		`"utilization":0,"preemptions":0,"backfills":0,"migrations":0,"repricings":0,`+
+		`"resizes":0,"grow_ranks":0,"shrink_ranks":0,`+
 		`"reclaims":0,"mean_imbalance":0,"max_imbalance":0,"weighted":0,"easy_degraded":0}` {
 		t.Errorf("empty summary: %s", got)
 	}

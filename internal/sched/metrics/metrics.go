@@ -32,6 +32,13 @@ type Job struct {
 	Migrations int
 	Repricings int
 
+	// Resizes counts the job's completed mid-run re-decompositions;
+	// GrowRanks and ShrinkRanks total the ranks they added and removed.
+	// Ranks above is the job's final rank count after them.
+	Resizes     int
+	GrowRanks   int
+	ShrinkRanks int
+
 	// Weighted reports whether the job ran a speed-weighted decomposition
 	// (spans sized by host speed) rather than the uniform split.
 	Weighted bool
@@ -65,6 +72,12 @@ type Summary struct {
 	Migrations int
 	Repricings int
 	Reclaims   int
+
+	// Resizes, GrowRanks and ShrinkRanks aggregate the per-job malleable
+	// re-decompositions (the autoscaler's actuations).
+	Resizes     int
+	GrowRanks   int
+	ShrinkRanks int
 
 	// MeanImbalance and MaxImbalance aggregate the per-job load-imbalance
 	// ratios over the jobs that ran (1.0 is perfect balance); Weighted
@@ -115,6 +128,9 @@ func Summarize(jobs []Job, hosts int) Summary {
 		}
 		s.Migrations += j.Migrations
 		s.Repricings += j.Repricings
+		s.Resizes += j.Resizes
+		s.GrowRanks += j.GrowRanks
+		s.ShrinkRanks += j.ShrinkRanks
 		if j.Weighted {
 			s.Weighted++
 		}
@@ -159,8 +175,9 @@ func (s Summary) String() string {
 	fmt.Fprintf(&b, "makespan %s  mean wait %s  max wait %s  utilization %.3f  preemptions %d  backfills %d\n",
 		fmtDur(s.Makespan), fmtDur(s.MeanWait), fmtDur(s.MaxWait),
 		s.Utilization, s.Preemptions, s.Backfills)
-	fmt.Fprintf(&b, "reclaims %d  migrations %d  repricings %d  weighted %d  imbalance mean %.3f max %.3f  easy-degraded %d\n",
+	fmt.Fprintf(&b, "reclaims %d  migrations %d  repricings %d  resizes %d (+%d/-%d ranks)  weighted %d  imbalance mean %.3f max %.3f  easy-degraded %d\n",
 		s.Reclaims, s.Migrations, s.Repricings,
+		s.Resizes, s.GrowRanks, s.ShrinkRanks,
 		s.Weighted, s.MeanImbalance, s.MaxImbalance, s.EASYDegraded)
 	return b.String()
 }

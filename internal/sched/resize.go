@@ -1,0 +1,259 @@
+package sched
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/cluster"
+)
+
+// Sentinel errors of the resize path; callers branch with errors.Is.
+var (
+	// ErrUnknownJob flags a resize request for an ID the farm never
+	// accepted.
+	ErrUnknownJob = errors.New("unknown job")
+	// ErrNotRunning flags a resize request for a job the farm knows but
+	// is not currently running (pending, queued, suspended or finished):
+	// only a placed job has a reservation to grow or shrink.
+	ErrNotRunning = errors.New("job is not running")
+)
+
+// resizeReq is one queued RequestResize call, answered on ch.
+type resizeReq struct {
+	id string
+	n  int
+	ch chan error
+}
+
+// RequestResize asks the event loop to resize the running job to n ranks
+// at the loop's current virtual time. It is safe from any goroutine —
+// the public farm API calls it from Job.Resize — and returns a buffered
+// channel that receives exactly one result: nil once the resize
+// committed, or the typed error (ErrUnknownJob, ErrNotRunning,
+// ErrNoCapacity, or a workload refusal) if it did not. The request is
+// processed in the next loop iteration, after reclaims and before the
+// scheduling round, so a resize never interleaves with a migration of
+// the same job inside one round.
+func (s *Scheduler) RequestResize(id string, n int) <-chan error {
+	ch := make(chan error, 1)
+	s.mu.Lock()
+	s.resizeReqs = append(s.resizeReqs, resizeReq{id: id, n: n, ch: ch})
+	s.mu.Unlock()
+	s.wakeup()
+	return ch
+}
+
+// handleResizeRequests drains the queued RequestResize calls at the
+// current virtual time, answering each caller's channel.
+func (s *Scheduler) handleResizeRequests(t time.Duration) {
+	s.mu.Lock()
+	reqs := s.resizeReqs
+	s.resizeReqs = nil
+	s.mu.Unlock()
+	for _, r := range reqs {
+		r.ch <- s.resizeByID(r.id, r.n, t)
+	}
+}
+
+// resizeByID locates a running job by ID and resizes it; jobs the farm
+// knows but is not running get ErrNotRunning, strangers ErrUnknownJob.
+func (s *Scheduler) resizeByID(id string, n int, t time.Duration) error {
+	for _, js := range s.running {
+		if js.spec.ID == id {
+			return s.resize(js, n, t)
+		}
+	}
+	s.mu.Lock()
+	known := s.ids[id]
+	s.mu.Unlock()
+	if known {
+		return fmt.Errorf("sched: resize %s: %w", id, ErrNotRunning)
+	}
+	return fmt.Errorf("sched: resize %q: %w", id, ErrUnknownJob)
+}
+
+// resize re-decomposes a running job onto n ranks at the current virtual
+// time: the progress made at the old pace is credited, a near-square
+// lattice of n subregions is chosen within the job's (pinned) global
+// grid, the reservation grows (fresh Reserve) or shrinks (tail hosts
+// released), the workload re-splits through the core resize protocol,
+// and the job is repriced on the new placement. Resizing to the current
+// rank count is a no-op. Failures leave the job running on its old
+// decomposition and reservation: a grow that cannot reserve or re-split
+// releases the extra hosts; a shrink re-splits before any host is
+// released, so its failure changes nothing.
+func (s *Scheduler) resize(js *jobState, n int, t time.Duration) error {
+	cur := js.ranks()
+	if n == cur {
+		return nil
+	}
+	if n < 1 {
+		return fmt.Errorf("sched: resize %s to %d ranks", js.spec.ID, n)
+	}
+	if n > len(s.Cluster.Hosts) {
+		return fmt.Errorf("sched: resize %s to %d ranks on a %d-host pool: %w",
+			js.spec.ID, n, len(s.Cluster.Hosts), ErrNoCapacity)
+	}
+	espec := js.espec()
+	jx, jy, jz, err := chooseLattice(n, espec)
+	if err != nil {
+		return fmt.Errorf("sched: resize %s: %w", js.spec.ID, err)
+	}
+	next := espec
+	next.GX, next.GY, next.GZ = espec.Grid()
+	next.JX, next.JY, next.JZ = jx, jy, jz
+
+	// The run so far went at the old placement's pace; credit it and
+	// re-anchor before anything can fail, so the accounting never
+	// double-counts whatever happens next. On failure the job keeps its
+	// old pace and the finish estimate is re-derived from the new anchor.
+	elapsed := t - js.placedAt
+	js.remaining -= elapsed.Seconds() / js.stepSec
+	if js.remaining < 0 {
+		js.remaining = 0
+	}
+	s.creditService(js, elapsed)
+	js.placedAt = t
+
+	var hosts []*cluster.Host
+	if n > cur {
+		add, err := s.Cluster.Reserve(js.spec.ID, n-cur, s.Select, s.rng)
+		if err != nil {
+			js.finishAt = t + time.Duration(js.remaining*js.stepSec*float64(time.Second))
+			return fmt.Errorf("sched: resize %s %d->%d: %w (%v)", js.spec.ID, cur, n, ErrNoCapacity, err)
+		}
+		// Reserve numbered the extras from rank 0; re-number the merged
+		// placement so hosts[rank] serves rank. The old hosts keep their
+		// ranks (they lead the list), so a failed re-split needs no
+		// un-renumbering — releasing the extras restores the placement.
+		hosts = append(append([]*cluster.Host(nil), js.res.Hosts...), add.Hosts...)
+		for rank, h := range hosts {
+			h.AssignTo(js.spec.ID, rank)
+		}
+		if err := s.applyResize(js, next, hosts); err != nil {
+			add.Release()
+			js.finishAt = t + time.Duration(js.remaining*js.stepSec*float64(time.Second))
+			return fmt.Errorf("sched: resize %s %d->%d: %w", js.spec.ID, cur, n, err)
+		}
+		js.res.Hosts = hosts
+		js.growRanks += n - cur
+	} else {
+		// Shrink: re-split onto the leading n hosts first — the workload
+		// refusing (filter on, deactivated subregions) must leave the
+		// reservation whole — then release the tail.
+		hosts = js.res.Hosts[:n:n]
+		if err := s.applyResize(js, next, hosts); err != nil {
+			js.finishAt = t + time.Duration(js.remaining*js.stepSec*float64(time.Second))
+			return fmt.Errorf("sched: resize %s %d->%d: %w", js.spec.ID, cur, n, err)
+		}
+		drop := append([]*cluster.Host(nil), js.res.Hosts[n:]...)
+		js.res.Shrink(drop)
+		js.res.Hosts = js.res.Hosts[:n]
+		js.shrinkRanks += cur - n
+	}
+	js.curJX, js.curJY, js.curJZ = jx, jy, jz
+	js.finishAt = t + time.Duration(js.remaining*js.stepSec*float64(time.Second))
+	js.resizes++
+	js.repricings++
+	s.emit(JobResized{T: t, ID: js.spec.ID, From: cur, To: n,
+		Hosts: hostNames(js.res.Hosts), StepSec: js.stepSec, Finish: js.finishAt})
+	return nil
+}
+
+// applyResize picks the new lattice's shape on the target hosts, drives
+// the workload's re-split, and commits the job's shape, price and
+// imbalance. It mutates nothing on failure.
+func (s *Scheduler) applyResize(js *jobState, next JobSpec, hosts []*cluster.Host) error {
+	shape, sec, err := s.chooseShape(next, hosts)
+	if err != nil {
+		return err
+	}
+	resolved, err := shapeOrUniform(next, shape)
+	if err != nil {
+		return err
+	}
+	imb, err := Imbalance(next, shape, hosts)
+	if err != nil {
+		return err
+	}
+	if err := js.work.Resize(resolved, hosts); err != nil {
+		return err
+	}
+	js.shape = shape
+	js.stepSec = sec
+	js.imbalance = imb
+	return nil
+}
+
+// chooseLattice factors n into a decomposition lattice for the spec's
+// problem: near-square (near-cubic for 3D specs), deterministically —
+// the largest factor <= the root first, longer factor along the longer
+// grid axis — and bounded by the grid extents so every subregion keeps
+// at least one node. It fails when no factorization of n fits the grid
+// (n prime and longer than both axes, say).
+func chooseLattice(n int, spec JobSpec) (jx, jy, jz int, err error) {
+	gx, gy, gz := spec.Grid()
+	if spec.Is3D() {
+		for c := rootFloor(n, 3); c >= 1; c-- {
+			if n%c != 0 || c > gz {
+				continue
+			}
+			if x, y, ok := lattice2D(n/c, gx, gy); ok {
+				return x, y, c, nil
+			}
+		}
+		return 0, 0, 0, fmt.Errorf("no %d-rank lattice fits grid %dx%dx%d", n, gx, gy, gz)
+	}
+	x, y, ok := lattice2D(n, gx, gy)
+	if !ok {
+		return 0, 0, 0, fmt.Errorf("no %d-rank lattice fits grid %dx%d", n, gx, gy)
+	}
+	return x, y, 0, nil
+}
+
+// lattice2D picks the most nearly square factorization jx*jy = n that
+// fits the gx x gy grid, preferring the longer factor along the longer
+// axis (ties go to x, matching row-major rank order).
+func lattice2D(n, gx, gy int) (jx, jy int, ok bool) {
+	for a := rootFloor(n, 2); a >= 1; a-- {
+		if n%a != 0 {
+			continue
+		}
+		b := n / a // b >= a
+		x, y := b, a
+		if gy > gx {
+			x, y = a, b
+		}
+		if x <= gx && y <= gy {
+			return x, y, true
+		}
+		if y <= gx && x <= gy {
+			return y, x, true
+		}
+	}
+	return 0, 0, false
+}
+
+// rootFloor returns floor(n^(1/k)) exactly, correcting the float round.
+func rootFloor(n, k int) int {
+	if n < 1 {
+		return 0
+	}
+	pow := func(r int) int {
+		p := 1
+		for i := 0; i < k; i++ {
+			p *= r
+		}
+		return p
+	}
+	r := int(math.Round(math.Pow(float64(n), 1/float64(k))))
+	for r > 1 && pow(r) > n {
+		r--
+	}
+	for pow(r+1) <= n {
+		r++
+	}
+	return r
+}

@@ -156,6 +156,14 @@ type JobSpec struct {
 	// Steps is the number of integration steps.
 	Steps int
 
+	// GX, GY, GZ pin the global grid explicitly; zero derives it from
+	// the lattice (Side*JX x Side*JY [x Side*JZ]), which every job
+	// submitted before malleability used. The scheduler pins the grid
+	// when it resizes a job: the lattice changes but the problem does
+	// not, so pricing and shape validation must keep measuring the
+	// original grid. User submissions normally leave these zero.
+	GX, GY, GZ int
+
 	// Priority orders the Priority policy (higher first); jobs with
 	// strictly higher priority may preempt running lower-priority jobs.
 	Priority int
@@ -172,6 +180,25 @@ type JobSpec struct {
 
 // Is3D reports whether the spec decomposes a 3D problem.
 func (s JobSpec) Is3D() bool { return s.JZ > 0 }
+
+// Grid returns the spec's global grid extents: the pinned GX/GY/GZ when
+// set, Side*JX x Side*JY [x Side*JZ] otherwise. gz is zero for 2D specs.
+func (s JobSpec) Grid() (gx, gy, gz int) {
+	gx, gy, gz = s.GX, s.GY, s.GZ
+	if gx == 0 {
+		gx = s.Side * s.JX
+	}
+	if gy == 0 {
+		gy = s.Side * s.JY
+	}
+	if !s.Is3D() {
+		return gx, gy, 0
+	}
+	if gz == 0 {
+		gz = s.Side * s.JZ
+	}
+	return gx, gy, gz
+}
 
 // Ranks returns the number of hosts the job needs.
 func (s JobSpec) Ranks() int {
@@ -217,6 +244,16 @@ func (s JobSpec) Validate() error {
 	}
 	if s.Side < 1 {
 		return fmt.Errorf("sched: %w: job %s: subregion side %d", ErrInvalidSpec, s.ID, s.Side)
+	}
+	if s.GX < 0 || s.GY < 0 || s.GZ < 0 {
+		return fmt.Errorf("sched: %w: job %s: negative grid %dx%dx%d", ErrInvalidSpec, s.ID, s.GX, s.GY, s.GZ)
+	}
+	if s.GZ > 0 && dim == 2 {
+		return fmt.Errorf("sched: %w: job %s: 2D method with GZ = %d", ErrInvalidSpec, s.ID, s.GZ)
+	}
+	if gx, gy, gz := s.Grid(); gx < s.JX || gy < s.JY || (s.Is3D() && gz < s.JZ) {
+		return fmt.Errorf("sched: %w: job %s: grid %dx%dx%d cannot give every subregion of the %dx%dx%d lattice a node",
+			ErrInvalidSpec, s.ID, gx, gy, gz, s.JX, s.JY, s.JZ)
 	}
 	if s.Steps < 1 {
 		return fmt.Errorf("sched: %w: job %s: %d steps", ErrInvalidSpec, s.ID, s.Steps)

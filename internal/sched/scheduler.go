@@ -71,6 +71,17 @@ type Scheduler struct {
 	Scenario      func(t time.Duration, c *cluster.Cluster)
 	ScenarioEvery time.Duration
 
+	// Autoscale, when set, is invoked on the scheduling goroutine at
+	// every multiple of AutoscaleEvery of virtual time while the farm
+	// has work, right after the scenario tick (so the control loop sees
+	// the scripted user activity of the same instant). The callback
+	// samples the farm through the control handle and actuates resize
+	// decisions through it — the analyzer -> decision -> actuator
+	// pipeline lives in farm/autoscale; this hook is only its
+	// deterministic clock.
+	Autoscale      func(t time.Duration, ctl AutoscaleControl)
+	AutoscaleEvery time.Duration
+
 	// CheckpointEvery, when positive, makes the event loop persist the
 	// whole farm into CheckpointDir at every multiple of it in virtual
 	// time (while the farm has work), so a crashed coordinator loses at
@@ -120,6 +131,9 @@ type Scheduler struct {
 	ckptOnInterrupt bool
 	runFailed       bool // last Run exited with an error, reservations still held
 	wake            chan struct{}
+	// resizeReqs queues RequestResize calls for the event loop, which
+	// drains them at the current virtual time each iteration.
+	resizeReqs []resizeReq
 
 	// servedByUser accumulates virtual service time per tenant, the
 	// WeightedFair bookkeeping.
@@ -146,6 +160,13 @@ type jobState struct {
 	// over perfectly balanced; 1.0 is ideal), refreshed at every pricing.
 	imbalance float64
 
+	// curJX/curJY/curJZ is the job's current decomposition lattice after
+	// resizes; all zero means the spec's lattice. The spec itself is
+	// never mutated — it remains the submitted job — so the effective
+	// spec (espec) carries the current lattice with the original grid
+	// pinned whenever the scheduler prices or validates a resized job.
+	curJX, curJY, curJZ int
+
 	started    bool
 	live       bool // submitted while the farm was running
 	firstStart time.Duration
@@ -155,6 +176,41 @@ type jobState struct {
 	backfilled bool
 	migrations int
 	repricings int
+	// resizes counts completed resizes; growRanks/shrinkRanks total the
+	// ranks added and removed by them.
+	resizes     int
+	growRanks   int
+	shrinkRanks int
+}
+
+// resized reports whether the job currently runs a lattice other than
+// its spec's.
+func (j *jobState) resized() bool { return j.curJX > 0 }
+
+// ranks returns the job's current rank count.
+func (j *jobState) ranks() int {
+	if !j.resized() {
+		return j.spec.Ranks()
+	}
+	jz := j.curJZ
+	if jz < 1 {
+		jz = 1
+	}
+	return j.curJX * j.curJY * jz
+}
+
+// espec returns the job's effective spec: the submitted spec until the
+// first resize, afterwards a copy carrying the current lattice with the
+// original global grid pinned, so every pricing, shape validation and
+// rank-count decision measures the same problem on the new rank count.
+func (j *jobState) espec() JobSpec {
+	if !j.resized() {
+		return j.spec
+	}
+	e := j.spec
+	e.GX, e.GY, e.GZ = j.spec.Grid()
+	e.JX, e.JY, e.JZ = j.curJX, j.curJY, j.curJZ
+	return e
 }
 
 // userKey returns the job's tenant; an unnamed user makes the job its
@@ -365,6 +421,7 @@ func (s *Scheduler) Run() (sum metrics.Summary, err error) {
 		if err := s.handleReclaims(t); err != nil {
 			return metrics.Summary{}, err
 		}
+		s.handleResizeRequests(t)
 		if err := s.scheduleRound(t); err != nil {
 			return metrics.Summary{}, err
 		}
@@ -395,13 +452,20 @@ func (s *Scheduler) Run() (sum metrics.Summary, err error) {
 		} else {
 			stallSince = -1
 		}
-		// Scenario and auto-checkpoint ticks cap the advance so scripted
-		// user activity and periodic saves land at exact virtual times.
-		tick, save := time.Duration(-1), time.Duration(-1)
+		// Scenario, autoscale and auto-checkpoint ticks cap the advance so
+		// scripted user activity, control-loop samples and periodic saves
+		// land at exact virtual times.
+		tick, scale, save := time.Duration(-1), time.Duration(-1), time.Duration(-1)
 		if s.Scenario != nil && s.ScenarioEvery > 0 {
 			tick = t - t%s.ScenarioEvery + s.ScenarioEvery
 			if tick < next {
 				next = tick
+			}
+		}
+		if s.Autoscale != nil && s.AutoscaleEvery > 0 {
+			scale = t - t%s.AutoscaleEvery + s.AutoscaleEvery
+			if scale < next {
+				next = scale
 			}
 		}
 		if s.CheckpointEvery > 0 {
@@ -419,6 +483,9 @@ func (s *Scheduler) Run() (sum metrics.Summary, err error) {
 			if s.isInterrupted() {
 				return metrics.Summary{}, s.interruptExit()
 			}
+		}
+		if scale >= 0 && t == scale {
+			s.Autoscale(t, AutoscaleControl{s: s, t: t})
 		}
 		if save >= 0 && t == save {
 			if err := s.Checkpoint(s.CheckpointDir); err != nil {
@@ -516,11 +583,11 @@ func (s *Scheduler) migrateOff(js *jobState, busy []*cluster.Host, t time.Durati
 	}
 	// The weighted shape was fixed when the job first dumped; reprice the
 	// same geometry on the patched placement.
-	sec, err := s.Timer(js.spec, js.shape, js.res.Hosts)
+	sec, err := s.Timer(js.espec(), js.shape, js.res.Hosts)
 	if err != nil {
 		return err
 	}
-	imb, err := Imbalance(js.spec, js.shape, js.res.Hosts)
+	imb, err := Imbalance(js.espec(), js.shape, js.res.Hosts)
 	if err != nil {
 		return err
 	}
@@ -581,7 +648,7 @@ func (s *Scheduler) scheduleRound(t time.Duration) error {
 						// the round degrades once, however many passes run.)
 						degradeCounted = true
 						s.easyDegraded++
-						s.emit(EASYDegraded{T: t, Head: s.queue[0].spec.ID, Ranks: s.queue[0].spec.Ranks()})
+						s.emit(EASYDegraded{T: t, Head: s.queue[0].spec.ID, Ranks: s.queue[0].ranks()})
 					}
 				}
 				deadline = shadow
@@ -641,7 +708,7 @@ func (s *Scheduler) scheduleRound(t time.Duration) error {
 // change.
 func (s *Scheduler) projectedStart(head *jobState) time.Duration {
 	free := s.Cluster.Capacity(s.Select)
-	need := head.spec.Ranks()
+	need := head.ranks()
 	run := append([]*jobState(nil), s.running...)
 	sort.SliceStable(run, func(i, j int) bool { return run[i].finishAt < run[j].finishAt })
 	for _, r := range run {
@@ -709,7 +776,7 @@ func (s *Scheduler) chooseShape(spec JobSpec, hosts []*cluster.Host) (decomp.Sha
 // started before keeps the shape it dumped with — resumptions and
 // migrations reprice the same geometry on the new hosts.
 func (s *Scheduler) tryPlace(js *jobState, t time.Duration, deadline time.Duration) (bool, error) {
-	res, err := s.Cluster.Reserve(js.spec.ID, js.spec.Ranks(), s.Select, s.rng)
+	res, err := s.Cluster.Reserve(js.spec.ID, js.ranks(), s.Select, s.rng)
 	if err != nil {
 		return false, nil // capacity shortfall; Reserve shuffles nothing on failure
 	}
@@ -717,7 +784,9 @@ func (s *Scheduler) tryPlace(js *jobState, t time.Duration, deadline time.Durati
 	if !js.started {
 		shape, sec, err = s.chooseShape(js.spec, res.Hosts)
 	} else {
-		sec, err = s.Timer(js.spec, shape, res.Hosts)
+		// A resized job resumes on its current lattice (espec), with the
+		// shape it dumped under.
+		sec, err = s.Timer(js.espec(), shape, res.Hosts)
 	}
 	if err != nil {
 		res.Release()
@@ -728,7 +797,7 @@ func (s *Scheduler) tryPlace(js *jobState, t time.Duration, deadline time.Durati
 		res.Release()
 		return false, nil
 	}
-	imb, err := Imbalance(js.spec, shape, res.Hosts)
+	imb, err := Imbalance(js.espec(), shape, res.Hosts)
 	if err != nil {
 		res.Release()
 		return false, err
@@ -763,7 +832,7 @@ func (s *Scheduler) tryPlace(js *jobState, t time.Duration, deadline time.Durati
 // jobs of strictly lower priority — lowest priority first, most recently
 // placed first among equals — then places the head.
 func (s *Scheduler) tryPreempt(js *jobState, t time.Duration) (bool, error) {
-	need := js.spec.Ranks() - s.Cluster.Capacity(s.Select)
+	need := js.ranks() - s.Cluster.Capacity(s.Select)
 	if need <= 0 {
 		return false, nil
 	}
@@ -887,7 +956,7 @@ func (s *Scheduler) complete(t time.Duration) error {
 func metricsJob(js *jobState) metrics.Job {
 	return metrics.Job{
 		ID:          js.spec.ID,
-		Ranks:       js.spec.Ranks(),
+		Ranks:       js.ranks(),
 		Priority:    js.spec.Priority,
 		Submit:      js.spec.Submit,
 		FirstStart:  js.firstStart,
@@ -897,6 +966,9 @@ func metricsJob(js *jobState) metrics.Job {
 		Backfilled:  js.backfilled,
 		Migrations:  js.migrations,
 		Repricings:  js.repricings,
+		Resizes:     js.resizes,
+		GrowRanks:   js.growRanks,
+		ShrinkRanks: js.shrinkRanks,
 		Weighted:    !js.shape.IsZero(),
 		Imbalance:   js.imbalance,
 	}

@@ -25,11 +25,12 @@ func shapeOrUniform(spec JobSpec, shape decomp.Shape) (decomp.Shape, error) {
 	if shape.IsZero() {
 		return UniformShape(spec), nil
 	}
-	jz, gz := spec.JZ, spec.Side*spec.JZ
+	jz := spec.JZ
 	if !spec.Is3D() {
-		jz, gz = 0, 0
+		jz = 0
 	}
-	if err := shape.Check(spec.JX, spec.JY, jz, spec.Side*spec.JX, spec.Side*spec.JY, gz); err != nil {
+	gx, gy, gz := spec.Grid()
+	if err := shape.Check(spec.JX, spec.JY, jz, gx, gy, gz); err != nil {
 		return decomp.Shape{}, fmt.Errorf("sched: job %s: %w", spec.ID, err)
 	}
 	return shape, nil
@@ -38,11 +39,11 @@ func shapeOrUniform(spec JobSpec, shape decomp.Shape) (decomp.Shape, error) {
 // UniformShape returns the spec's uniform (equal-spans) shape, the
 // degenerate case every job priced before speed weighting used.
 func UniformShape(spec JobSpec) decomp.Shape {
+	gx, gy, gz := spec.Grid()
 	if spec.Is3D() {
-		return decomp.UniformShape3D(spec.JX, spec.JY, spec.JZ,
-			spec.Side*spec.JX, spec.Side*spec.JY, spec.Side*spec.JZ)
+		return decomp.UniformShape3D(spec.JX, spec.JY, spec.JZ, gx, gy, gz)
 	}
-	return decomp.UniformShape2D(spec.JX, spec.JY, spec.Side*spec.JX, spec.Side*spec.JY)
+	return decomp.UniformShape2D(spec.JX, spec.JY, gx, gy)
 }
 
 // WeightedShape returns the spec's speed-weighted shape for a placement:
@@ -57,11 +58,11 @@ func WeightedShape(spec JobSpec, hosts []*cluster.Host) (decomp.Shape, error) {
 	for i := range speed {
 		speed[i] = hosts[i].Speed(spec.Method)
 	}
+	gx, gy, gz := spec.Grid()
 	if spec.Is3D() {
-		return decomp.WeightedShape3D(spec.JX, spec.JY, spec.JZ,
-			spec.Side*spec.JX, spec.Side*spec.JY, spec.Side*spec.JZ, speed)
+		return decomp.WeightedShape3D(spec.JX, spec.JY, spec.JZ, gx, gy, gz, speed)
 	}
-	return decomp.WeightedShape2D(spec.JX, spec.JY, spec.Side*spec.JX, spec.Side*spec.JY, speed)
+	return decomp.WeightedShape2D(spec.JX, spec.JY, gx, gy, speed)
 }
 
 // forEachRank walks the spec's lattice in rank order (row-major, planes

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/core"
+	"repro/internal/decomp"
 	"repro/internal/dump"
 )
 
@@ -29,6 +30,12 @@ type Workload interface {
 	// Migrate moves ranks[i] to hosts[i] while the rest of the job keeps
 	// its placement.
 	Migrate(ranks []int, hosts []*cluster.Host) error
+	// Resize re-decomposes the running workload onto len(hosts) ranks at
+	// a step boundary: shape is the resolved per-axis span assignment of
+	// the new lattice and hosts[rank] serves new rank. Called only while
+	// the workload is placed; a refusal (filter on, deactivated
+	// subregions) must leave it running on its old decomposition.
+	Resize(shape decomp.Shape, hosts []*cluster.Host) error
 	Finish() error
 	// Checkpoint returns the workload's current per-rank states (ordered
 	// by rank) for persistence. A suspended workload returns the states
@@ -52,13 +59,14 @@ type WorkerBudgeted interface {
 // virtual-time accounting.
 type NullWorkload struct{}
 
-func (NullWorkload) Start([]*cluster.Host) error          { return nil }
-func (NullWorkload) Suspend() error                       { return nil }
-func (NullWorkload) Resume([]*cluster.Host) error         { return nil }
-func (NullWorkload) Migrate([]int, []*cluster.Host) error { return nil }
-func (NullWorkload) Finish() error                        { return nil }
-func (NullWorkload) Checkpoint() ([]*dump.State, error)   { return nil, nil }
-func (NullWorkload) Restore([]*dump.State) error          { return nil }
+func (NullWorkload) Start([]*cluster.Host) error                { return nil }
+func (NullWorkload) Suspend() error                             { return nil }
+func (NullWorkload) Resume([]*cluster.Host) error               { return nil }
+func (NullWorkload) Migrate([]int, []*cluster.Host) error       { return nil }
+func (NullWorkload) Resize(decomp.Shape, []*cluster.Host) error { return nil }
+func (NullWorkload) Finish() error                              { return nil }
+func (NullWorkload) Checkpoint() ([]*dump.State, error)         { return nil, nil }
+func (NullWorkload) Restore([]*dump.State) error                { return nil }
 
 // CoreWorkload drives a real core.Job under the scheduler: Start launches
 // the workers, Suspend checkpoints every rank through the section-5.1
@@ -139,6 +147,26 @@ func (c *CoreWorkload) Migrate(ranks []int, hosts []*cluster.Host) error {
 		}
 	}
 	return c.Job.MigrateRanks(ranks, nil)
+}
+
+// Resize re-splits the job onto the new lattice at a step boundary and
+// records the new placement: hosts[rank] serves new rank. The scheduler
+// has already renumbered the cluster-side assignments; PlaceOn only
+// refreshes the job's own rank->host bookkeeping (core.Job.Resize
+// cleared it — the old map's ranks no longer exist).
+func (c *CoreWorkload) Resize(shape decomp.Shape, hosts []*cluster.Host) error {
+	if c.Job == nil {
+		return fmt.Errorf("sched: CoreWorkload without a Job")
+	}
+	if err := c.Job.Resize(shape); err != nil {
+		return err
+	}
+	if c.Cluster != nil {
+		if err := c.Job.PlaceOn(c.Cluster, hosts); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // Checkpoint returns the job's per-rank dump states for persistence. A
