@@ -92,9 +92,12 @@ func (s *Scenario) Validate() error {
 		if e.Until > e.At && e.Every <= 0 {
 			return bad("event %d: window without a firing period", i)
 		}
-		for name, d := range map[string]time.Duration{"start": e.At, "end": e.Until, "period": e.Every, "dwell": e.Dwell} {
-			if d%s.Every != 0 {
-				return bad("event %d: %s %v is not a multiple of the %v tick", i, name, d, s.Every)
+		for _, f := range []struct {
+			name string
+			d    time.Duration
+		}{{"start", e.At}, {"end", e.Until}, {"period", e.Every}, {"dwell", e.Dwell}} {
+			if f.d%s.Every != 0 {
+				return bad("event %d: %s %v is not a multiple of the %v tick", i, f.name, f.d, s.Every)
 			}
 		}
 	}

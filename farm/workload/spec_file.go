@@ -5,7 +5,9 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"maps"
 	"os"
+	"slices"
 	"time"
 )
 
@@ -64,7 +66,7 @@ func ParseSpec(data []byte) (*Spec, error) {
 	dec := json.NewDecoder(bytes.NewReader(data))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&file); err != nil {
-		return nil, fmt.Errorf("workload: %w: %v", ErrBadSpec, err)
+		return nil, fmt.Errorf("workload: %w: %w", ErrBadSpec, err)
 	}
 	if file.Format != SpecFormat {
 		return nil, fmt.Errorf("workload: %w: format %q, want %q", ErrBadSpec, file.Format, SpecFormat)
@@ -83,7 +85,7 @@ func ParseSpec(data []byte) (*Spec, error) {
 	dec = json.NewDecoder(bytes.NewReader(normalized))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&spec); err != nil {
-		return nil, fmt.Errorf("workload: %w: %v", ErrBadSpec, err)
+		return nil, fmt.Errorf("workload: %w: %w", ErrBadSpec, err)
 	}
 	if err := spec.Validate(); err != nil {
 		return nil, err
@@ -96,7 +98,7 @@ func ParseSpec(data []byte) (*Spec, error) {
 func normalizeDurations(raw json.RawMessage) (json.RawMessage, error) {
 	var v any
 	if err := json.Unmarshal(raw, &v); err != nil {
-		return nil, fmt.Errorf("workload: %w: %v", ErrBadSpec, err)
+		return nil, fmt.Errorf("workload: %w: %w", ErrBadSpec, err)
 	}
 	conv, err := convertDurations(v, "")
 	if err != nil {
@@ -104,7 +106,7 @@ func normalizeDurations(raw json.RawMessage) (json.RawMessage, error) {
 	}
 	out, err := json.Marshal(conv)
 	if err != nil {
-		return nil, fmt.Errorf("workload: %w: %v", ErrBadSpec, err)
+		return nil, fmt.Errorf("workload: %w: %w", ErrBadSpec, err)
 	}
 	return out, nil
 }
@@ -114,8 +116,8 @@ func normalizeDurations(raw json.RawMessage) (json.RawMessage, error) {
 func convertDurations(v any, key string) (any, error) {
 	switch x := v.(type) {
 	case map[string]any:
-		for k, mv := range x {
-			nv, err := convertDurations(mv, k)
+		for _, k := range slices.Sorted(maps.Keys(x)) {
+			nv, err := convertDurations(x[k], k)
 			if err != nil {
 				return nil, err
 			}
@@ -135,7 +137,7 @@ func convertDurations(v any, key string) (any, error) {
 		if durationKeys[key] {
 			d, err := time.ParseDuration(x)
 			if err != nil {
-				return nil, fmt.Errorf("workload: %w: field %s: %v", ErrBadSpec, key, err)
+				return nil, fmt.Errorf("workload: %w: field %s: %w", ErrBadSpec, key, err)
 			}
 			return int64(d), nil
 		}

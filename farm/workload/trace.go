@@ -257,6 +257,7 @@ func run(f *farm.Farm, jobs []farm.JobSpec) (farm.Summary, []string, error) {
 	sub := f.SubscribeBuffered(1 << 14)
 	var lines []string
 	done := make(chan struct{})
+	//detlint:allow goentropy -- subscriber drain: the goroutine only copies the already-ordered event stream into lines, and the reader joins on done before touching them
 	go func() {
 		defer close(done)
 		for ev := range sub.Events() {
@@ -345,11 +346,11 @@ func hasResizeEvents(lines []string) bool {
 func (tr *Trace) config(ckptDir string) (RunConfig, error) {
 	policy, err := farm.ParsePolicy(tr.Policy)
 	if err != nil {
-		return RunConfig{}, fmt.Errorf("workload: %w: %v", ErrBadTrace, err)
+		return RunConfig{}, fmt.Errorf("workload: %w: %w", ErrBadTrace, err)
 	}
 	backfill, err := farm.ParseBackfill(tr.Backfill)
 	if err != nil {
-		return RunConfig{}, fmt.Errorf("workload: %w: %v", ErrBadTrace, err)
+		return RunConfig{}, fmt.Errorf("workload: %w: %w", ErrBadTrace, err)
 	}
 	return RunConfig{
 		Seed:            tr.Seed,
@@ -477,7 +478,7 @@ func ReadTrace(path string) (*Trace, error) {
 	}
 	var tr Trace
 	if err := json.Unmarshal(data, &tr); err != nil {
-		return nil, fmt.Errorf("workload: %w: %v", ErrBadTrace, err)
+		return nil, fmt.Errorf("workload: %w: %w", ErrBadTrace, err)
 	}
 	if err := tr.check(); err != nil {
 		return nil, err

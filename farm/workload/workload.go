@@ -220,7 +220,7 @@ func (s *Spec) Validate() error {
 		}
 		seen[c.Name] = true
 		if err := c.validate(); err != nil {
-			return fmt.Errorf("workload: %w: spec %s: cohort %s: %v", farm.ErrInvalidSpec, s.Name, c.Name, err)
+			return fmt.Errorf("workload: %w: spec %s: cohort %s: %w", farm.ErrInvalidSpec, s.Name, c.Name, err)
 		}
 	}
 	if s.Scenario != nil {
@@ -259,7 +259,7 @@ func (c *Cohort) validate() error {
 		probe := farm.JobSpec{ID: "probe", Method: sc.Method,
 			JX: sc.JX, JY: sc.JY, JZ: sc.JZ, Side: 4, Steps: 1}
 		if err := probe.Validate(); err != nil {
-			return fmt.Errorf("shape %s %dx%dx%d: %v", sc.Method, sc.JX, sc.JY, sc.JZ, err)
+			return fmt.Errorf("shape %s %dx%dx%d: %w", sc.Method, sc.JX, sc.JY, sc.JZ, err)
 		}
 	}
 	if c.Jobs.SideMin < 1 {

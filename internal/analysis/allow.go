@@ -1,0 +1,143 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// The escape hatch. A finding that is understood and deliberate is
+// suppressed with a directive comment:
+//
+//	//detlint:allow goentropy -- watcher only forwards ctx cancellation
+//
+// The grammar is `//detlint:allow name[,name...] -- reason`. The
+// directive covers diagnostics on its own line and on the line below
+// it, so it works both as a trailing comment and as an annotation
+// above the offending statement. The reason after `--` is mandatory:
+// an allow without a reason is itself a finding, as is one naming an
+// analyzer the suite does not contain (a typo would otherwise silently
+// suppress nothing forever).
+const allowPrefix = "//detlint:allow"
+
+type allowDirective struct {
+	pos    token.Pos
+	file   string
+	line   int
+	names  []string
+	reason string
+	// raw keeps the text after the prefix for malformed-directive
+	// diagnostics.
+	raw string
+}
+
+type allowIndex struct {
+	// byLine maps file -> line -> directives whose scope includes that
+	// line (each directive is indexed at its own line and the next).
+	byLine     map[string]map[int][]*allowDirective
+	directives []*allowDirective
+}
+
+func buildAllowIndex(fset *token.FileSet, files []*ast.File) *allowIndex {
+	idx := &allowIndex{byLine: make(map[string]map[int][]*allowDirective)}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, allowPrefix) {
+					continue
+				}
+				d := parseAllow(c)
+				posn := fset.Position(c.Slash)
+				d.file, d.line = posn.Filename, posn.Line
+				idx.directives = append(idx.directives, d)
+				m := idx.byLine[d.file]
+				if m == nil {
+					m = make(map[int][]*allowDirective)
+					idx.byLine[d.file] = m
+				}
+				m[d.line] = append(m[d.line], d)
+				m[d.line+1] = append(m[d.line+1], d)
+			}
+		}
+	}
+	return idx
+}
+
+func parseAllow(c *ast.Comment) *allowDirective {
+	text := strings.TrimPrefix(c.Text, allowPrefix)
+	// The directive ends at a nested comment marker, so golden-test
+	// `// want` expectations can share the line.
+	if i := strings.Index(text, "//"); i >= 0 {
+		text = text[:i]
+	}
+	d := &allowDirective{pos: c.Slash, raw: strings.TrimSpace(text)}
+	spec := d.raw
+	if i := strings.Index(spec, "--"); i >= 0 {
+		d.reason = strings.TrimSpace(spec[i+2:])
+		spec = spec[:i]
+	}
+	for _, n := range strings.Split(spec, ",") {
+		if n = strings.TrimSpace(n); n != "" {
+			d.names = append(d.names, n)
+		}
+	}
+	return d
+}
+
+func (d *allowDirective) covers(analyzer string) bool {
+	for _, n := range d.names {
+		if n == analyzer {
+			return true
+		}
+	}
+	return false
+}
+
+// filter drops diagnostics covered by a well-formed directive naming
+// the analyzer. Malformed directives (no reason) suppress nothing.
+func (idx *allowIndex) filter(fset *token.FileSet, analyzer string, diags []Diagnostic) []Diagnostic {
+	var out []Diagnostic
+	for _, diag := range diags {
+		posn := fset.Position(diag.Pos)
+		suppressed := false
+		for _, d := range idx.byLine[posn.Filename][posn.Line] {
+			if d.covers(analyzer) && d.reason != "" {
+				suppressed = true
+				break
+			}
+		}
+		if !suppressed {
+			out = append(out, diag)
+		}
+	}
+	return out
+}
+
+// validate reports directives that carry no reason or name an analyzer
+// outside the running suite. The findings carry the pseudo-analyzer
+// name "detlint" so they are never themselves suppressible.
+func (idx *allowIndex) validate(suite []*Analyzer) []Diagnostic {
+	known := make(map[string]bool, len(suite))
+	for _, a := range suite {
+		known[a.Name] = true
+	}
+	var out []Diagnostic
+	for _, d := range idx.directives {
+		if len(d.names) == 0 {
+			out = append(out, Diagnostic{Pos: d.pos, Analyzer: "detlint",
+				Message: "detlint:allow names no analyzer; write //detlint:allow <analyzer> -- <reason>"})
+			continue
+		}
+		if d.reason == "" {
+			out = append(out, Diagnostic{Pos: d.pos, Analyzer: "detlint",
+				Message: "detlint:allow needs a reason; write //detlint:allow " + strings.Join(d.names, ",") + " -- <reason>"})
+		}
+		for _, n := range d.names {
+			if !known[n] {
+				out = append(out, Diagnostic{Pos: d.pos, Analyzer: "detlint",
+					Message: "detlint:allow names unknown analyzer " + n})
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,84 @@
+package analysis
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestMatch(t *testing.T) {
+	cases := []struct {
+		patterns []string
+		path     string
+		want     bool
+	}{
+		{[]string{"repro/farm"}, "repro/farm", true},
+		{[]string{"repro/farm"}, "repro/farm/workload", false},
+		{[]string{"repro/farm/..."}, "repro/farm", true},
+		{[]string{"repro/farm/..."}, "repro/farm/workload", true},
+		{[]string{"repro/farm/..."}, "repro/farmhouse", false},
+		// cmd/go's test-augmented variant of an in-scope package.
+		{[]string{"repro/farm"}, "repro/farm [repro/farm.test]", true},
+		{[]string{"repro/internal/sched/..."}, "repro/internal/sched/metrics", true},
+		{nil, "repro/farm", false},
+	}
+	for _, c := range cases {
+		if got := Match(c.patterns, c.path); got != c.want {
+			t.Errorf("Match(%v, %q) = %v, want %v", c.patterns, c.path, got, c.want)
+		}
+	}
+}
+
+func TestDefaultScopes(t *testing.T) {
+	cfg := Default()
+	for _, path := range []string{
+		"repro/internal/sched", "repro/internal/sched/metrics",
+		"repro/internal/core", "repro/internal/lbm", "repro/internal/fd",
+		"repro/internal/decomp", "repro/farm", "repro/farm/workload",
+		"repro/farm/autoscale",
+	} {
+		if !Match(cfg.Deterministic, path) {
+			t.Errorf("deterministic scope misses %s", path)
+		}
+	}
+	// The sanctioned concurrency runtimes stay out of goentropy's way.
+	for _, path := range []string{"repro/internal/pool", "repro/internal/core"} {
+		if Match(cfg.GoroutineScope, path) {
+			t.Errorf("goroutine scope should not cover the sanctioned runtime %s", path)
+		}
+	}
+	if cfg.InScope("math/rand") || cfg.InScope("fmt") {
+		t.Error("std packages must be out of scope entirely")
+	}
+	if !cfg.InScope("repro/internal/cluster") {
+		t.Error("cluster should be in the strayrng scope")
+	}
+}
+
+func TestLoadForFindsRepoConfig(t *testing.T) {
+	// Walking up from this package's directory must find the
+	// committed detlint.json at the module root and agree with the
+	// built-in defaults on the headline scopes.
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := LoadFor(wd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Match(cfg.Deterministic, "repro/farm") || !Match(cfg.ErrorSurface, "repro/farm") {
+		t.Errorf("repo detlint.json does not cover repro/farm: %+v", cfg)
+	}
+}
+
+func TestLoadRejectsUnknownFields(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "detlint.json")
+	if err := os.WriteFile(path, []byte(`{"determinstic": ["typo"]}`), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(path); err == nil {
+		t.Error("Load accepted a config with a misspelled field; scope typos must be loud")
+	}
+}

@@ -1,0 +1,47 @@
+// Package goentropy flags `go` statements on the step/decision path.
+//
+// The solver's parallelism is sanctioned in exactly two places — the
+// internal/pool worker slabs (whose reduction order is fixed by slab
+// index, not finish order) and the internal/core worker ranks (whose
+// exchanges are rank-addressed) — and both packages sit outside this
+// scope. Anywhere else on the simulation path, a bare `go` statement
+// lets the runtime scheduler pick an interleaving, and that choice can
+// leak into observable results: event order, trace bytes, float
+// reduction order. A goroutine that genuinely cannot reorder
+// observable events (a cancellation watcher, a subscriber drain joined
+// before results are read) is annotated:
+//
+//	//detlint:allow goentropy -- <why this cannot reorder observable events>
+package goentropy
+
+import (
+	"go/ast"
+
+	"repro/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "goentropy",
+	Doc: "flag go statements on the deterministic step/decision path; " +
+		"route parallelism through the internal/pool worker slabs",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	if !analysis.Match(pass.Config.GoroutineScope, pass.PkgPath) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		if pass.IsTestFile(f) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			if g, ok := n.(*ast.GoStmt); ok {
+				pass.Reportf(g.Go,
+					"go statement on the deterministic step/decision path: goroutine scheduling order can leak into results; use the internal/pool worker slabs, or annotate //detlint:allow goentropy -- <why this cannot reorder observable events>")
+			}
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,14 @@
+package goentropy_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/passes/goentropy"
+)
+
+func TestGoentropy(t *testing.T) {
+	cfg := &analysis.Config{GoroutineScope: []string{"a"}}
+	analysistest.Run(t, "testdata", goentropy.Analyzer, cfg, "a")
+}

@@ -1,0 +1,31 @@
+// Package a is goentropy golden input: go statements on the
+// step/decision path.
+package a
+
+func compute() {}
+
+func step() {
+	go compute() // want `go statement on the deterministic step/decision path`
+}
+
+func closures() {
+	done := make(chan struct{})
+	go func() { // want `go statement on the deterministic step/decision path`
+		close(done)
+	}()
+	<-done
+}
+
+func allowedDrain(events chan int) {
+	done := make(chan struct{})
+	var seen []int
+	//detlint:allow goentropy -- drain preserves the channel's own order and is joined before seen is read
+	go func() {
+		defer close(done)
+		for ev := range events {
+			seen = append(seen, ev)
+		}
+	}()
+	<-done
+	_ = seen
+}

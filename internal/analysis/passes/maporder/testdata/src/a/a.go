@@ -1,0 +1,114 @@
+// Package a is maporder golden input: map ranges whose bodies are and
+// are not iteration-order sensitive.
+package a
+
+import (
+	"fmt"
+	"sort"
+)
+
+func emit(string) {}
+
+func callsOut(m map[string]int) {
+	for k := range m { // want `calls out in map order`
+		emit(k)
+	}
+}
+
+func errorPick(m map[string]int) error {
+	for k, v := range m { // want `calls out in map order`
+		if v < 0 {
+			return fmt.Errorf("bad %s", k)
+		}
+	}
+	return nil
+}
+
+func appendNoSort(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want `appends to keys in map order`
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// appendSorted is the sanctioned collect-then-sort pattern.
+func appendSorted(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func floatAccumulate(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m { // want `accumulates into a float/string in map order`
+		sum += v
+	}
+	return sum
+}
+
+// intAccumulate commutes; integer sums are order-insensitive.
+func intAccumulate(m map[string]int) int {
+	var n int
+	for _, v := range m {
+		n += v
+	}
+	return n
+}
+
+func stringAccumulate(m map[string]string) string {
+	var all string
+	for _, v := range m { // want `accumulates into a float/string in map order`
+		all += v
+	}
+	return all
+}
+
+func channelSend(m map[string]int, ch chan string) {
+	for k := range m { // want `sends on a channel in map order`
+		ch <- k
+	}
+}
+
+// mapToMap re-keys deterministically: each write lands at its own key.
+func mapToMap(dst, src map[string]int) {
+	for k, v := range src {
+		dst[k] = v
+	}
+}
+
+// clearAll deletes from the ranged map; order cannot be observed.
+func clearAll(m map[string]int) {
+	for k := range m {
+		delete(m, k)
+	}
+}
+
+// localCollect appends to a slice that dies inside the loop body, so
+// the map order never escapes.
+func localCollect(m map[string][]int) int {
+	n := 0
+	for _, vs := range m {
+		var grown []int
+		grown = append(grown, vs...)
+		n += len(grown)
+	}
+	return n
+}
+
+// sliceRange is not a map range at all.
+func sliceRange(xs []string) {
+	for _, x := range xs {
+		emit(x)
+	}
+}
+
+func allowed(m map[string]int) {
+	//detlint:allow maporder -- golden test: diagnostic order of this debug dump is immaterial
+	for k := range m {
+		emit(k)
+	}
+}

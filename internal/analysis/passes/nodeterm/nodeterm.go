@@ -1,0 +1,89 @@
+// Package nodeterm forbids ambient entropy — wall-clock reads and
+// global RNG draws — inside the deterministic simulation packages.
+//
+// Every replay guarantee in this repo (trace Verify, checkpoint
+// restore identity, resize/autoscale replay) holds only if the
+// simulation path computes from its declared inputs: spec, seed, and
+// the virtual clock. time.Now (and the helpers that call it
+// implicitly: Since, Until, After, Sleep, Tick, timers) smuggles the
+// host's clock in; math/rand's package-level functions draw from a
+// process-global generator seeded outside the checkpoint. Both make a
+// replay diverge on a code path no test happens to cover.
+//
+// Constructing generators (rand.New over a serializable source) is
+// deliberately out of scope here — that is strayrng's jurisdiction —
+// so a sanctioned rand.New(sched.SplitMix) needs no escape hatch.
+package nodeterm
+
+import (
+	"go/ast"
+
+	"repro/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "nodeterm",
+	Doc: "forbid ambient entropy (wall clock, global RNG) in deterministic packages; " +
+		"take time from the virtual clock and randomness from sched.SplitMix",
+	Run: run,
+}
+
+// ambientTime lists time package functions that read the host clock,
+// directly or by arming against it.
+var ambientTime = map[string]bool{
+	"Now": true, "Since": true, "Until": true,
+	"Sleep": true, "After": true, "AfterFunc": true,
+	"Tick": true, "NewTimer": true, "NewTicker": true,
+}
+
+// ambientRand lists the math/rand{,/v2} package-level draws backed by
+// the process-global generator. Constructors (rand.New over an
+// explicit source) and type references are strayrng's jurisdiction.
+var ambientRand = map[string]bool{
+	"Int": true, "Intn": true, "IntN": true, "N": true,
+	"Int31": true, "Int31n": true, "Int32": true, "Int32N": true,
+	"Int63": true, "Int63n": true, "Int64": true, "Int64N": true,
+	"Uint": true, "UintN": true, "Uint32": true, "Uint32N": true,
+	"Uint64": true, "Uint64N": true,
+	"Float32": true, "Float64": true,
+	"ExpFloat64": true, "NormFloat64": true,
+	"Perm": true, "Shuffle": true, "Seed": true, "Read": true,
+}
+
+func run(pass *analysis.Pass) error {
+	if !analysis.Match(pass.Config.Deterministic, pass.PkgPath) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		if pass.IsTestFile(f) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			path, name, ok := analysis.PkgFuncOf(pass.TypesInfo, sel)
+			if !ok {
+				return true
+			}
+			switch path {
+			case "time":
+				if ambientTime[name] {
+					pass.Reportf(sel.Pos(),
+						"time.%s reads the ambient wall clock; deterministic packages take time from the virtual clock or an explicit argument", name)
+				}
+			case "math/rand", "math/rand/v2":
+				if ambientRand[name] {
+					pass.Reportf(sel.Pos(),
+						"rand.%s draws from the process-global generator; route randomness through the job's sched.SplitMix substream", name)
+				}
+			case "crypto/rand":
+				pass.Reportf(sel.Pos(),
+					"crypto/rand.%s is irreproducible entropy; deterministic packages derive randomness from the seed", name)
+			}
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,14 @@
+package nodeterm_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/passes/nodeterm"
+)
+
+func TestNodeterm(t *testing.T) {
+	cfg := &analysis.Config{Deterministic: []string{"a"}}
+	analysistest.Run(t, "testdata", nodeterm.Analyzer, cfg, "a", "b")
+}

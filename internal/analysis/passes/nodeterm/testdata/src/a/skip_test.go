@@ -1,0 +1,10 @@
+// Test files are exempt: wall-clock timeouts in tests do not touch
+// the shipped simulation path.
+package a
+
+import "time"
+
+func waitInTest() {
+	_ = time.Now()
+	time.Sleep(time.Millisecond)
+}

@@ -1,0 +1,10 @@
+// Package b is outside the deterministic scope: the same ambient
+// entropy draws no findings.
+package b
+
+import "time"
+
+func clock() {
+	_ = time.Now()
+	time.Sleep(time.Millisecond)
+}

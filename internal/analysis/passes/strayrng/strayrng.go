@@ -1,0 +1,102 @@
+// Package strayrng requires every random stream to flow through the
+// serializable sched.SplitMix/Derive substream API.
+//
+// A checkpoint persists the farm's single SplitMix word and restores
+// the exact permutation stream, which is part of what makes a
+// killed-and-restored farm finish bit-identically. A stray generator —
+// rand.NewSource, new(rand.Rand), a rand.Rand composite literal, or
+// global rand.Seed — holds state the manifest cannot see, so the first
+// draw after a restore diverges. The one sanctioned construction is
+// rand.New over a *SplitMix (math/rand's Source interface lets the
+// scheduler borrow rand.Rand's distribution helpers while SplitMix
+// owns the state); everything else must call Derive for a substream.
+package strayrng
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "strayrng",
+	Doc: "require RNG state to come from the serializable sched.SplitMix/Derive API; " +
+		"stray sources break checkpoint round-trips",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	if !analysis.Match(pass.Config.RNGScope, pass.PkgPath) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		if pass.IsTestFile(f) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				checkCall(pass, n)
+			case *ast.CompositeLit:
+				if isRandRand(pass, n.Type) {
+					pass.Reportf(n.Pos(),
+						"rand.Rand literal holds RNG state outside the checkpoint; draw a substream with sched.SplitMix.Derive")
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func checkCall(pass *analysis.Pass, call *ast.CallExpr) {
+	if analysis.BuiltinNameOf(pass.TypesInfo, call.Fun) == "new" && len(call.Args) == 1 {
+		if isRandRand(pass, call.Args[0]) {
+			pass.Reportf(call.Pos(),
+				"new(rand.Rand) holds RNG state outside the checkpoint; draw a substream with sched.SplitMix.Derive")
+		}
+		return
+	}
+	path, name, ok := analysis.CalleeOf(pass.TypesInfo, call)
+	if !ok || (path != "math/rand" && path != "math/rand/v2") {
+		return
+	}
+	switch name {
+	case "Seed":
+		pass.Reportf(call.Pos(),
+			"rand.Seed reseeds the process-global generator; seed a sched.SplitMix and pass it explicitly")
+	case "NewSource", "NewPCG", "NewChaCha8":
+		pass.Reportf(call.Pos(),
+			"rand.%s creates a source the checkpoint manifest cannot serialize; derive one with sched.SplitMix.Derive", name)
+	case "New":
+		if len(call.Args) == 1 && fedBySplitMix(pass, call.Args[0]) {
+			return
+		}
+		pass.Reportf(call.Pos(),
+			"rand.New over a non-SplitMix source breaks checkpoint round-trips; construct it from sched.NewSplitMix or Derive")
+	}
+}
+
+func isRandRand(pass *analysis.Pass, e ast.Expr) bool {
+	path, name, ok := analysis.PkgFuncOf(pass.TypesInfo, e)
+	return ok && (path == "math/rand" || path == "math/rand/v2") && name == "Rand"
+}
+
+// fedBySplitMix reports whether the expression's static type is
+// *SplitMix (the sched package's serializable source).
+func fedBySplitMix(pass *analysis.Pass, e ast.Expr) bool {
+	if pass.TypesInfo == nil {
+		return false
+	}
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	t := tv.Type
+	if p, okP := t.Underlying().(*types.Pointer); okP {
+		t = p.Elem()
+	}
+	named, okN := t.(*types.Named)
+	return okN && named.Obj().Name() == "SplitMix"
+}

@@ -1,0 +1,14 @@
+package strayrng_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/passes/strayrng"
+)
+
+func TestStrayrng(t *testing.T) {
+	cfg := &analysis.Config{RNGScope: []string{"a"}}
+	analysistest.Run(t, "testdata", strayrng.Analyzer, cfg, "a")
+}

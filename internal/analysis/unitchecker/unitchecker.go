@@ -1,0 +1,385 @@
+// Package unitchecker implements the cmd/go vet tool protocol over the
+// standard library, so a detlint binary runs as
+//
+//	go vet -vettool=$(which detlint) ./...
+//
+// The protocol, reverse-engineered from cmd/go/internal/work and
+// mirrored from x/tools' unitchecker (which this repo cannot vendor):
+//
+//  1. cmd/go runs `tool -V=full` once and hashes the reply into its
+//     build cache key, so analyses re-run when the tool changes;
+//  2. cmd/go runs `tool -flags` and expects a JSON array of
+//     {Name,Bool,Usage} describing the flags it may pass through;
+//  3. per package, cmd/go writes a vet.cfg — file lists, the import
+//     map, and export-data paths for every dependency — and invokes
+//     `tool [flags] path/to/vet.cfg`. The tool type-checks from export
+//     data, analyzes, writes the (for detlint, empty) facts file named
+//     by VetxOutput, prints diagnostics, and exits 0 (clean), 2
+//     (findings), or 1 (tool failure).
+//
+// Invoked any other way, Main re-execs itself under `go vet -vettool`
+// so `detlint ./...` works directly during development.
+package unitchecker
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"log"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// Config mirrors the fields of cmd/go's vet.cfg that detlint consumes.
+type Config struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// Main is the entry point for a vet tool built from a suite of
+// analyzers. It never returns.
+func Main(analyzers ...*analysis.Analyzer) {
+	progname := filepath.Base(os.Args[0])
+	log.SetFlags(0)
+	log.SetPrefix(progname + ": ")
+
+	var (
+		versionFlag string
+		printFlags  bool
+		jsonOut     bool
+		configPath  string
+	)
+	fs := newFlagSet(&versionFlag, &printFlags, &jsonOut, &configPath)
+	if err := fs.parse(os.Args[1:]); err != nil {
+		log.Fatal(err)
+	}
+
+	switch {
+	case versionFlag != "":
+		if versionFlag != "full" {
+			log.Fatalf("unsupported flag value: -V=%s", versionFlag)
+		}
+		printVersion()
+		os.Exit(0)
+	case printFlags:
+		fs.printJSON()
+		os.Exit(0)
+	}
+
+	args := fs.args
+	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		os.Exit(run(args[0], analyzers, jsonOut, configPath))
+	}
+	os.Exit(reexec(jsonOut, configPath, args))
+}
+
+// flagSet is a hand-rolled parser: cmd/go passes flags in -name=value
+// form, and the -flags reply must enumerate exactly what we accept.
+type flagSet struct {
+	version *string
+	print   *bool
+	json    *bool
+	config  *string
+	args    []string
+}
+
+func newFlagSet(version *string, print, jsonOut *bool, config *string) *flagSet {
+	return &flagSet{version: version, print: print, json: jsonOut, config: config}
+}
+
+func (fs *flagSet) parse(args []string) error {
+	for i := 0; i < len(args); i++ {
+		a := args[i]
+		if a == "--" {
+			fs.args = append(fs.args, args[i+1:]...)
+			return nil
+		}
+		if !strings.HasPrefix(a, "-") {
+			fs.args = append(fs.args, a)
+			continue
+		}
+		name, value, hasValue := strings.Cut(strings.TrimLeft(a, "-"), "=")
+		switch name {
+		case "V":
+			if !hasValue {
+				value = "full"
+			}
+			*fs.version = value
+		case "flags":
+			*fs.print = true
+		case "json":
+			*fs.json = value != "false"
+		case "config":
+			if !hasValue {
+				if i+1 >= len(args) {
+					return fmt.Errorf("flag -config needs a path")
+				}
+				i++
+				value = args[i]
+			}
+			*fs.config = value
+		default:
+			return fmt.Errorf("unknown flag -%s", name)
+		}
+	}
+	return nil
+}
+
+// printJSON answers `tool -flags` in the shape cmd/go's vet flag
+// validation decodes.
+func (fs *flagSet) printJSON() {
+	type jsonFlag struct {
+		Name  string
+		Bool  bool
+		Usage string
+	}
+	flags := []jsonFlag{
+		{"V", false, "print version and exit"},
+		{"flags", true, "print flags in JSON and exit"},
+		{"json", true, "emit machine-readable JSON diagnostics on stdout"},
+		{"config", false, "path to a detlint.json scope config"},
+	}
+	data, err := json.Marshal(flags)
+	if err != nil {
+		log.Fatal(err)
+	}
+	os.Stdout.Write(data)
+	fmt.Println()
+}
+
+// printVersion replies to -V=full with the line format cmd/go's
+// buildid probe parses: "<executable> version devel ... buildID=<hash>".
+func printVersion() {
+	exe, err := os.Executable()
+	if err != nil {
+		log.Fatal(err)
+	}
+	f, err := os.Open(exe)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s version devel detlint buildID=%02x\n", exe, string(h.Sum(nil)))
+}
+
+// reexec turns a direct `detlint [flags] ./...` invocation into
+// `go vet -vettool=<self> [flags] ./...`.
+func reexec(jsonOut bool, configPath string, args []string) int {
+	exe, err := os.Executable()
+	if err != nil {
+		log.Fatal(err)
+	}
+	vetArgs := []string{"vet", "-vettool=" + exe}
+	if jsonOut {
+		vetArgs = append(vetArgs, "-json")
+	}
+	if configPath != "" {
+		vetArgs = append(vetArgs, "-config="+configPath)
+	}
+	cmd := exec.Command("go", append(vetArgs, args...)...)
+	cmd.Stdout, cmd.Stderr, cmd.Stdin = os.Stdout, os.Stderr, os.Stdin
+	if err := cmd.Run(); err != nil {
+		if ee, ok := err.(*exec.ExitError); ok {
+			return ee.ExitCode()
+		}
+		log.Fatal(err)
+	}
+	return 0
+}
+
+func run(cfgFile string, analyzers []*analysis.Analyzer, jsonOut bool, configPath string) int {
+	cfg, err := readConfig(cfgFile)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// cmd/go caches and propagates the facts file to dependents;
+	// detlint's analyzers are fact-free, so an empty one satisfies the
+	// protocol. Written first so every exit path below leaves it.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	dcfg, err := resolveScopes(configPath, cfg.Dir)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Nothing to do for packages outside every scope — all of std and
+	// every dependency beyond this module — so skip the type-check.
+	if !dcfg.InScope(cfg.ImportPath) {
+		return emit(nil, cfg, nil, jsonOut, analyzers)
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		if !filepath.IsAbs(name) {
+			name = filepath.Join(cfg.Dir, name)
+		}
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return 0
+			}
+			log.Fatal(err)
+		}
+		files = append(files, f)
+	}
+
+	pkg, info, err := typeCheck(fset, files, cfg)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		log.Fatalf("typecheck %s: %v", cfg.ImportPath, err)
+	}
+
+	diags, err := analysis.Run(&analysis.Package{
+		Fset:  fset,
+		Files: files,
+		Path:  cfg.ImportPath,
+		Types: pkg,
+		Info:  info,
+	}, dcfg, analyzers)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return emit(diags, cfg, fset, jsonOut, analyzers)
+}
+
+func readConfig(path string) (*Config, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	cfg := new(Config)
+	if err := json.Unmarshal(data, cfg); err != nil {
+		return nil, fmt.Errorf("parsing vet config %s: %w", path, err)
+	}
+	return cfg, nil
+}
+
+func resolveScopes(configPath, dir string) (*analysis.Config, error) {
+	if configPath != "" {
+		return analysis.Load(configPath)
+	}
+	return analysis.LoadFor(dir)
+}
+
+// typeCheck loads the package from source plus per-dependency export
+// data, exactly as the compiler saw it.
+func typeCheck(fset *token.FileSet, files []*ast.File, cfg *Config) (*types.Package, *types.Info, error) {
+	compiler := cfg.Compiler
+	if compiler == "" {
+		compiler = "gc"
+	}
+	base := importer.ForCompiler(fset, compiler, func(path string) (io.ReadCloser, error) {
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+	var errs []error
+	tc := &types.Config{
+		Importer: canonicalImporter{cfg.ImportMap, base},
+		Sizes:    types.SizesFor(compiler, build.Default.GOARCH),
+		Error:    func(err error) { errs = append(errs, err) },
+	}
+	if v, _, _ := strings.Cut(cfg.GoVersion, "-"); strings.HasPrefix(v, "go") {
+		tc.GoVersion = v
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	pkg, _ := tc.Check(cfg.ImportPath, fset, files, info)
+	if len(errs) > 0 {
+		return nil, nil, errs[0]
+	}
+	return pkg, info, nil
+}
+
+// canonicalImporter maps source-level import paths through the vet
+// config's ImportMap before hitting export data.
+type canonicalImporter struct {
+	importMap map[string]string
+	base      types.Importer
+}
+
+func (ci canonicalImporter) Import(path string) (*types.Package, error) {
+	if canonical, ok := ci.importMap[path]; ok {
+		path = canonical
+	}
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	return ci.base.Import(path)
+}
+
+// emit prints diagnostics and returns the process exit code: JSON mode
+// writes a {package: {analyzer: [findings]}} object to stdout and
+// always exits 0 (matching `go vet -json`); plain mode writes
+// file:line:col lines to stderr and exits 2 when anything was found.
+func emit(diags []analysis.Diagnostic, cfg *Config, fset *token.FileSet, jsonOut bool, analyzers []*analysis.Analyzer) int {
+	if cfg.VetxOnly {
+		return 0
+	}
+	if jsonOut {
+		type jsonDiag struct {
+			Posn    string `json:"posn"`
+			Message string `json:"message"`
+		}
+		byAnalyzer := make(map[string][]jsonDiag)
+		for _, d := range diags {
+			byAnalyzer[d.Analyzer] = append(byAnalyzer[d.Analyzer], jsonDiag{
+				Posn:    fset.Position(d.Pos).String(),
+				Message: d.Message,
+			})
+		}
+		tree := map[string]map[string][]jsonDiag{cfg.ID: byAnalyzer}
+		data, err := json.MarshalIndent(tree, "", "\t")
+		if err != nil {
+			log.Fatal(err)
+		}
+		os.Stdout.Write(data)
+		fmt.Println()
+		return 0
+	}
+	for _, d := range diags {
+		fmt.Fprintf(os.Stderr, "%s: %s: %s\n", fset.Position(d.Pos), d.Analyzer, d.Message)
+	}
+	if len(diags) > 0 {
+		return 2
+	}
+	return 0
+}

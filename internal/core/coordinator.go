@@ -2,6 +2,8 @@ package core
 
 import (
 	"fmt"
+	"maps"
+	"slices"
 	"time"
 
 	"repro/internal/cluster"
@@ -76,11 +78,17 @@ func (j *Job) SetWorkers(n int) {
 	if n <= 0 {
 		return
 	}
-	for _, w := range j.workers {
-		if p, ok := w.Prog.(workerBudgeted); ok {
+	for _, rank := range j.ranks() {
+		if p, ok := j.workers[rank].Prog.(workerBudgeted); ok {
 			p.SetWorkers(n)
 		}
 	}
+}
+
+// ranks returns the job's worker ranks in ascending order, so every
+// loop over the workers map visits them in a reproducible order.
+func (j *Job) ranks() []int {
+	return slices.Sorted(maps.Keys(j.workers))
 }
 
 // SetWorkers forwards the intra-rank worker budget to the method.
@@ -146,8 +154,8 @@ type JobPrograms2D struct {
 // Gather assembles the global solution from the current programs.
 func (jp *JobPrograms2D) Gather(steps int) *Result2D {
 	ordered := make([]*Program2D, 0, len(jp.progs))
-	for _, p := range jp.progs {
-		ordered = append(ordered, p)
+	for _, rank := range slices.Sorted(maps.Keys(jp.progs)) {
+		ordered = append(ordered, jp.progs[rank])
 	}
 	return Gather2D(jp.cfg, ordered, steps)
 }
@@ -197,11 +205,11 @@ func (j *Job) Epoch() int { return j.epoch }
 // Start launches every worker on its own goroutine.
 func (j *Job) Start() {
 	// The sync funcs capture P; re-wire now that all workers exist.
-	for _, w := range j.workers {
-		j.wireSync(w)
+	for _, rank := range j.ranks() {
+		j.wireSync(j.workers[rank])
 	}
-	for _, w := range j.workers {
-		go w.Start(j.Until)
+	for _, rank := range j.ranks() {
+		go j.workers[rank].Start(j.Until)
 	}
 }
 
@@ -231,6 +239,7 @@ func (j *Job) nextEvent() (Event, error) {
 			return e, fmt.Errorf("core: rank %d failed at step %d: %w", e.Rank, e.Step, e.Err)
 		}
 		return e, nil
+	//detlint:allow nodeterm -- liveness timeout: it only bounds how long we wait for a worker event, and a firing aborts the run; it never reorders or changes delivered events
 	case <-time.After(j.waitTimeout()):
 		return Event{}, fmt.Errorf("core: no worker event within %v", j.waitTimeout())
 	}
@@ -253,8 +262,8 @@ func (j *Job) WaitDone() error {
 
 // Shutdown stops all workers' control planes after completion.
 func (j *Job) Shutdown() {
-	for _, w := range j.workers {
-		w.Shutdown()
+	for _, rank := range j.ranks() {
+		j.workers[rank].Shutdown()
 	}
 }
 
@@ -276,8 +285,8 @@ func (j *Job) MigrateRanks(ranks []int, onDump func(rank int, st *dump.State)) e
 
 	// 1. Signal every process to synchronize (kill -USR2 to all).
 	j.round++
-	for _, w := range j.workers {
-		w.RequestPause(j.round)
+	for _, rank := range j.ranks() {
+		j.workers[rank].RequestPause(j.round)
 	}
 	// 2. Wait until all processes reach the synchronization step. Done
 	// events from finishing workers may interleave.
@@ -346,11 +355,11 @@ func (j *Job) MigrateRanks(ranks []int, onDump func(rank int, st *dump.State)) e
 
 	// 5. CONT: the waiting processes re-open their channels and the
 	// distributed computation continues.
-	for rank, w := range j.workers {
+	for _, rank := range j.ranks() {
 		if migrating[rank] {
 			continue
 		}
-		if err := <-w.RequestResume(j.epoch); err != nil {
+		if err := <-j.workers[rank].RequestResume(j.epoch); err != nil {
 			return fmt.Errorf("core: resuming rank %d: %w", rank, err)
 		}
 		delete(j.done, rank) // resumed workers re-announce completion
@@ -419,6 +428,7 @@ func (j *Job) MonitorLoop(checkEvery time.Duration, pol cluster.MigrationPolicy,
 				j.done[e.Rank] = true
 			}
 			continue
+		//detlint:allow nodeterm -- poll pacing only: the tick bounds how fast the monitor spins between drains; decisions are driven by tick count and virtual cluster time, not by this wall-clock delay
 		case <-time.After(time.Millisecond):
 		}
 		if scenario != nil {
@@ -487,8 +497,8 @@ type JobPrograms3D struct {
 // Gather assembles the global 3D solution from the current programs.
 func (jp *JobPrograms3D) Gather(steps int) *Result3D {
 	ordered := make([]*Program3D, 0, len(jp.progs))
-	for _, p := range jp.progs {
-		ordered = append(ordered, p)
+	for _, rank := range slices.Sorted(maps.Keys(jp.progs)) {
+		ordered = append(ordered, jp.progs[rank])
 	}
 	return Gather3D(jp.cfg, ordered, steps)
 }

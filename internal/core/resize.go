@@ -2,6 +2,8 @@ package core
 
 import (
 	"fmt"
+	"maps"
+	"slices"
 
 	"repro/internal/decomp"
 	"repro/internal/dump"
@@ -92,11 +94,11 @@ func (j *Job) Resize(sh decomp.Shape) error {
 			j.onRebuild(st.Rank, prog)
 		}
 	}
-	for _, w := range j.workers {
-		j.wireSync(w)
+	for _, rank := range j.ranks() {
+		j.wireSync(j.workers[rank])
 	}
-	for _, w := range j.workers {
-		go w.Start(j.Until)
+	for _, rank := range j.ranks() {
+		go j.workers[rank].Start(j.Until)
 	}
 	return nil
 }
@@ -176,7 +178,8 @@ func resplit2D(cfg *Config2D, states []*dump.State, sh decomp.Shape) ([]*dump.St
 		}
 		st := prog.DumpState(step, 0)
 		sub := cfg.D.ByRank(rank)
-		for name, data := range st.Fields {
+		for _, name := range slices.Sorted(maps.Keys(st.Fields)) {
+			data := st.Fields[name]
 			g := global[name]
 			if g == nil {
 				return nil, fmt.Errorf("old dumps lack field %q", name)
@@ -254,7 +257,8 @@ func resplit3D(cfg *Config3D, states []*dump.State, sh decomp.Shape) ([]*dump.St
 		st := prog.DumpState(step, 0)
 		sub := cfg.D.ByRank(rank)
 		sx, sxy := sub.NX+2, (sub.NX+2)*(sub.NY+2)
-		for name, data := range st.Fields {
+		for _, name := range slices.Sorted(maps.Keys(st.Fields)) {
+			data := st.Fields[name]
 			g := global[name]
 			if g == nil {
 				return nil, fmt.Errorf("old dumps lack field %q", name)

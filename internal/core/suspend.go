@@ -2,6 +2,8 @@ package core
 
 import (
 	"fmt"
+	"maps"
+	"slices"
 
 	"repro/internal/cluster"
 	"repro/internal/dump"
@@ -20,8 +22,8 @@ func (j *Job) Suspend() ([]*dump.State, error) {
 	// 1-2. Signal every process to synchronize and wait for all of them
 	// to reach the synchronization step (done events may interleave).
 	j.round++
-	for _, w := range j.workers {
-		w.RequestPause(j.round)
+	for _, rank := range j.ranks() {
+		j.workers[rank].RequestPause(j.round)
 	}
 	paused := map[int]bool{}
 	for len(paused) < j.P() {
@@ -39,8 +41,8 @@ func (j *Job) Suspend() ([]*dump.State, error) {
 
 	// 3. Every process saves its state and exits.
 	states := map[int]*dump.State{}
-	for _, w := range j.workers {
-		w.RequestMigrate()
+	for _, rank := range j.ranks() {
+		j.workers[rank].RequestMigrate()
 	}
 	for len(states) < j.P() {
 		e, err := j.nextEvent()
@@ -60,8 +62,8 @@ func (j *Job) Suspend() ([]*dump.State, error) {
 		out = append(out, st)
 	}
 	// The compute goroutines have exited; retire their controllers too.
-	for _, w := range j.workers {
-		w.Shutdown()
+	for _, rank := range j.ranks() {
+		j.workers[rank].Shutdown()
 	}
 	return out, nil
 }
@@ -167,8 +169,8 @@ func (j *Job) Rehost(rank int, h *cluster.Host) {
 // ReleaseHosts unassigns every host of the job's current placement, for a
 // suspension or a completed run handing the pool back to a scheduler.
 func (j *Job) ReleaseHosts() {
-	for rank, h := range j.hostOf {
-		if h != nil {
+	for _, rank := range slices.Sorted(maps.Keys(j.hostOf)) {
+		if h := j.hostOf[rank]; h != nil {
 			h.Unassign()
 		}
 		delete(j.hostOf, rank)

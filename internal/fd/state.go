@@ -19,11 +19,15 @@ func (s *Solver2D) DumpFields() map[string][]float64 {
 // RestoreFields reloads raw field storage from a dump, reproducing the
 // solver state bit-for-bit.
 func (s *Solver2D) RestoreFields(fields map[string][]float64) error {
-	for name, dst := range map[string][]float64{
-		"rho": s.Rho.Data(),
-		"vx":  s.Vx.Data(),
-		"vy":  s.Vy.Data(),
+	for _, f := range []struct {
+		name string
+		dst  []float64
+	}{
+		{"rho", s.Rho.Data()},
+		{"vx", s.Vx.Data()},
+		{"vy", s.Vy.Data()},
 	} {
+		name, dst := f.name, f.dst
 		src, ok := fields[name]
 		if !ok {
 			return fmt.Errorf("fd: dump missing field %q", name)
@@ -52,12 +56,16 @@ func (s *Solver3D) DumpFields() map[string][]float64 {
 
 // RestoreFields reloads raw 3D field storage from a dump.
 func (s *Solver3D) RestoreFields(fields map[string][]float64) error {
-	for name, dst := range map[string][]float64{
-		"rho": s.Rho.Data(),
-		"vx":  s.Vx.Data(),
-		"vy":  s.Vy.Data(),
-		"vz":  s.Vz.Data(),
+	for _, f := range []struct {
+		name string
+		dst  []float64
+	}{
+		{"rho", s.Rho.Data()},
+		{"vx", s.Vx.Data()},
+		{"vy", s.Vy.Data()},
+		{"vz", s.Vz.Data()},
 	} {
+		name, dst := f.name, f.dst
 		src, ok := fields[name]
 		if !ok {
 			return fmt.Errorf("fd: dump missing field %q", name)

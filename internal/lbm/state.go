@@ -1,6 +1,10 @@
 package lbm
 
-import "fmt"
+import (
+	"fmt"
+	"maps"
+	"slices"
+)
 
 // MethodName identifies the 2D lattice Boltzmann method in dump files.
 func (s *Solver2D) MethodName() string { return "lb2d" }
@@ -30,7 +34,8 @@ func (s *Solver2D) RestoreFields(fields map[string][]float64) error {
 	for i := 0; i < Q2; i++ {
 		dsts[fmt.Sprintf("f%d", i)] = s.F[i].Data()
 	}
-	for name, dst := range dsts {
+	for _, name := range slices.Sorted(maps.Keys(dsts)) {
+		dst := dsts[name]
 		src, ok := fields[name]
 		if !ok {
 			return fmt.Errorf("lbm: dump missing field %q", name)
@@ -72,7 +77,8 @@ func (s *Solver3D) RestoreFields(fields map[string][]float64) error {
 	for i := 0; i < Q3; i++ {
 		dsts[fmt.Sprintf("f%d", i)] = s.F[i].Data()
 	}
-	for name, dst := range dsts {
+	for _, name := range slices.Sorted(maps.Keys(dsts)) {
+		dst := dsts[name]
 		src, ok := fields[name]
 		if !ok {
 			return fmt.Errorf("lbm: dump missing field %q", name)
