@@ -61,6 +61,58 @@ func autoscaleSpec() *workload.Spec {
 	}
 }
 
+// autoscaleCollapseSpec is the shrink-heavy regime: the diurnal pool
+// under a demand collapse. An early surge of narrow, long-running jobs
+// meets the mostly idle 25-host pool, so the autoscaler grows them
+// toward MaxFactor — then the surge dries up (MaxJobs caps it), a
+// large owner wave reclaims most of the pool, and the only arrivals
+// left are a late trickle of wide jobs that the collapsed pool cannot
+// seat while grown jobs squat on lent ranks. The control loop's only
+// correct move is Resize shrink — the path the diurnal regime rarely
+// exercises end-to-end.
+func autoscaleCollapseSpec() *workload.Spec {
+	return &workload.Spec{
+		Name:    "autoscale-collapse",
+		Horizon: 50 * time.Minute,
+		Cohorts: []workload.Cohort{
+			{
+				Name: "surge",
+				Arrivals: workload.Arrivals{Process: workload.Poisson,
+					MeanGap: 90 * time.Second},
+				Jobs: workload.JobDist{
+					Shapes: []workload.ShapeChoice{
+						{Method: "lb2d", JX: 2, JY: 1, Weight: 2},
+						{Method: "lb2d", JX: 2, JY: 2, Weight: 1},
+					},
+					SideMin: 20, SideMax: 26,
+					Steps: workload.StepsDist{Median: 250000, Sigma: 0.3},
+				},
+				MaxJobs: 4,
+			},
+			{
+				// The residual demand after the collapse: wide jobs the
+				// reclaimed pool cannot seat without clawing ranks back.
+				Name: "late",
+				Arrivals: workload.Arrivals{Process: workload.Poisson,
+					MeanGap: 4 * time.Minute, Start: 16 * time.Minute},
+				Jobs: workload.JobDist{
+					Shapes:  []workload.ShapeChoice{{Method: "lb2d", JX: 4, JY: 3}},
+					SideMin: 20, SideMax: 24,
+					Steps: workload.StepsDist{Median: 4000, Sigma: 0.3},
+				},
+				MaxJobs: 2,
+			},
+		},
+		Scenario: &workload.Scenario{
+			Every: time.Minute,
+			Events: []workload.Event{
+				{Kind: workload.OwnerReturn, At: 15 * time.Minute, Hosts: 6,
+					Dwell: 30 * time.Minute},
+			},
+		},
+	}
+}
+
 // autoscalePlan is the control loop under test: tick twice a virtual
 // minute, lend idle hosts in chunks of four, grow a job to at most
 // three times its submitted width, confirm each decision over two
@@ -128,4 +180,31 @@ func autoscaleExp() {
 		log.Fatal("autoscale: REGRESSION — autoscaler improved neither makespan nor utilization")
 	}
 	fmt.Println("gate passed: autoscaler improves on static ranks")
+
+	// Shrink-heavy regime: demand collapse. The diurnal scenario above
+	// proves growth; unit tests prove Resize shrink in isolation; this
+	// run proves the control loop chooses shrink end-to-end when supply
+	// is withdrawn under grown jobs and the residual wide demand cannot
+	// be seated without clawing lent ranks back.
+	header("Malleable farm: demand collapse (shrink-heavy regime)")
+	cSpec := autoscaleCollapseSpec()
+	trC, sumC, err := workload.Record(cSpec, scaled)
+	if err != nil {
+		log.Fatalf("autoscale: collapse run: %v", err)
+	}
+	if err := trC.Verify(); err != nil {
+		log.Fatalf("autoscale: collapse trace: %v", err)
+	}
+	fmt.Printf("%d jobs at seed %d, FIFO + EASY, compute timer\n\n", len(trC.Jobs), *autoSeed)
+	fmt.Printf("%-12s %12s %12s %8s %8s %6s %6s\n",
+		"ranks", "makespan", "mean wait", "util", "resizes", "+rk", "-rk")
+	row("autoscaled", sumC)
+	if sumC.GrowRanks == 0 {
+		log.Fatal("autoscale: collapse regime never grew; there is nothing to hand back")
+	}
+	if sumC.ShrinkRanks == 0 {
+		log.Fatal("autoscale: collapse regime never shrank; the owner-return wave forced no Resize shrink")
+	}
+	fmt.Printf("\ngate passed: demand collapse forced shrink (%d ranks handed back over %d resizes)\n",
+		sumC.ShrinkRanks, sumC.Resizes)
 }

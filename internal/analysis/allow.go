@@ -11,14 +11,20 @@ import (
 //
 //	//detlint:allow goentropy -- watcher only forwards ctx cancellation
 //
-// The grammar is `//detlint:allow name[,name...] -- reason`. The
-// directive covers diagnostics on its own line and on the line below
-// it, so it works both as a trailing comment and as an annotation
+// The grammar is `//detlint:allow name[,name...] -- reason`, in a line
+// comment or a `/*detlint:allow ...*/` block comment. The directive
+// covers diagnostics on every line it spans and on the line below its
+// end, so it works both as a trailing comment and as an annotation
 // above the offending statement. The reason after `--` is mandatory:
 // an allow without a reason is itself a finding, as is one naming an
-// analyzer the suite does not contain (a typo would otherwise silently
-// suppress nothing forever).
-const allowPrefix = "//detlint:allow"
+// analyzer no pass package has registered (a typo would otherwise
+// silently suppress nothing forever). A directive naming a registered
+// pass that is not part of the current invocation is valid — it
+// suppresses nothing now, but it is not a typo.
+const (
+	allowPrefix      = "//detlint:allow"
+	allowBlockPrefix = "/*detlint:allow"
+)
 
 type allowDirective struct {
 	pos    token.Pos
@@ -43,11 +49,13 @@ func buildAllowIndex(fset *token.FileSet, files []*ast.File) *allowIndex {
 	for _, f := range files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
-				if !strings.HasPrefix(c.Text, allowPrefix) {
+				text, ok := directiveText(c.Text)
+				if !ok {
 					continue
 				}
-				d := parseAllow(c)
+				d := parseAllow(c, text)
 				posn := fset.Position(c.Slash)
+				end := fset.Position(c.End())
 				d.file, d.line = posn.Filename, posn.Line
 				idx.directives = append(idx.directives, d)
 				m := idx.byLine[d.file]
@@ -55,16 +63,40 @@ func buildAllowIndex(fset *token.FileSet, files []*ast.File) *allowIndex {
 					m = make(map[int][]*allowDirective)
 					idx.byLine[d.file] = m
 				}
-				m[d.line] = append(m[d.line], d)
-				m[d.line+1] = append(m[d.line+1], d)
+				// Cover every line the comment spans plus the one after
+				// its end: a multi-line block directive above a statement
+				// still reaches it.
+				for line := d.line; line <= end.Line+1; line++ {
+					m[line] = append(m[line], d)
+				}
 			}
 		}
 	}
 	return idx
 }
 
-func parseAllow(c *ast.Comment) *allowDirective {
-	text := strings.TrimPrefix(c.Text, allowPrefix)
+// directiveText extracts the directive body from a comment: the text
+// after the allow marker in a line comment, or inside a block comment
+// (with the closing */ stripped). ok is false for non-directives,
+// including lookalikes such as //detlint:allowlist where the marker is
+// not followed by a name boundary.
+func directiveText(text string) (string, bool) {
+	var rest string
+	switch {
+	case strings.HasPrefix(text, allowPrefix):
+		rest = text[len(allowPrefix):]
+	case strings.HasPrefix(text, allowBlockPrefix):
+		rest = strings.TrimSuffix(text[len(allowBlockPrefix):], "*/")
+	default:
+		return "", false
+	}
+	if rest != "" && rest[0] != ' ' && rest[0] != '\t' && rest[0] != '\n' {
+		return "", false
+	}
+	return rest, true
+}
+
+func parseAllow(c *ast.Comment, text string) *allowDirective {
 	// The directive ends at a nested comment marker, so golden-test
 	// `// want` expectations can share the line.
 	if i := strings.Index(text, "//"); i >= 0 {
@@ -76,10 +108,14 @@ func parseAllow(c *ast.Comment) *allowDirective {
 		d.reason = strings.TrimSpace(spec[i+2:])
 		spec = spec[:i]
 	}
-	for _, n := range strings.Split(spec, ",") {
-		if n = strings.TrimSpace(n); n != "" {
-			d.names = append(d.names, n)
-		}
+	// Names separate on commas or plain whitespace: both
+	// `allow a,b -- r` and `allow a b -- r` read naturally, and the
+	// forgiving split keeps a stray space from turning into one bogus
+	// compound name that matches nothing and flags as a typo.
+	for _, n := range strings.FieldsFunc(spec, func(r rune) bool {
+		return r == ',' || r == ' ' || r == '\t' || r == '\n'
+	}) {
+		d.names = append(d.names, n)
 	}
 	return d
 }
@@ -114,10 +150,15 @@ func (idx *allowIndex) filter(fset *token.FileSet, analyzer string, diags []Diag
 }
 
 // validate reports directives that carry no reason or name an analyzer
-// outside the running suite. The findings carry the pseudo-analyzer
-// name "detlint" so they are never themselves suppressible.
+// neither registered nor in the running suite — a directive naming a
+// registered pass that merely is not part of this invocation is fine.
+// The findings carry the pseudo-analyzer name "detlint" so they are
+// never themselves suppressible.
 func (idx *allowIndex) validate(suite []*Analyzer) []Diagnostic {
-	known := make(map[string]bool, len(suite))
+	known := make(map[string]bool, len(suite)+len(registry))
+	for name := range registry {
+		known[name] = true
+	}
 	for _, a := range suite {
 		known[a.Name] = true
 	}

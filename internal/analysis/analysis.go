@@ -52,6 +52,8 @@ type Pass struct {
 	Config    *Config
 
 	diags *[]Diagnostic
+	facts *FactStore
+	allow *allowIndex
 }
 
 // A Diagnostic is one finding, attributed to the analyzer that made it.
@@ -59,6 +61,22 @@ type Diagnostic struct {
 	Pos      token.Pos
 	Analyzer string
 	Message  string
+	// Fixes holds machine-applicable edits that resolve the finding;
+	// the driver applies them under -fix.
+	Fixes []SuggestedFix
+}
+
+// A SuggestedFix is one self-contained repair: all its edits are
+// applied together or not at all.
+type SuggestedFix struct {
+	Message string
+	Edits   []TextEdit
+}
+
+// A TextEdit replaces [Pos, End) with NewText. Pos == End inserts.
+type TextEdit struct {
+	Pos, End token.Pos
+	NewText  string
 }
 
 // Reportf records a finding at pos.
@@ -68,6 +86,30 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 		Analyzer: p.Analyzer.Name,
 		Message:  fmt.Sprintf(format, args...),
 	})
+}
+
+// Report records a fully-formed finding (used by passes that attach
+// suggested fixes).
+func (p *Pass) Report(d Diagnostic) {
+	d.Analyzer = p.Analyzer.Name
+	*p.diags = append(*p.diags, d)
+}
+
+// Allowed reports whether a well-formed //detlint:allow directive for
+// this analyzer covers pos. Passes that export facts consult it at
+// summary-build time: a site suppressed in its home package must not
+// resurface as a cross-package finding at every caller.
+func (p *Pass) Allowed(pos token.Pos) bool {
+	if p.allow == nil {
+		return false
+	}
+	posn := p.Fset.Position(pos)
+	for _, d := range p.allow.byLine[posn.Filename][posn.Line] {
+		if d.covers(p.Analyzer.Name) && d.reason != "" {
+			return true
+		}
+	}
+	return false
 }
 
 // IsTestFile reports whether the file's name marks it as a _test.go
@@ -80,10 +122,17 @@ func (p *Pass) IsTestFile(f *ast.File) bool {
 
 // Run applies the analyzers to the package, filters the findings
 // through the //detlint:allow directives in the source, validates those
-// directives (a directive must carry a reason, and must name an
-// analyzer in the running suite), and returns the surviving
-// diagnostics ordered by position.
+// directives (a directive must carry a reason, and must name a
+// registered analyzer), and returns the surviving diagnostics ordered
+// by position. It is RunFacts without cross-package facts — the
+// single-package harness.
 func Run(pkg *Package, cfg *Config, analyzers []*Analyzer) ([]Diagnostic, error) {
+	return RunFacts(pkg, cfg, analyzers, nil)
+}
+
+// RunFacts is Run with a fact store: analyzers see the facts the
+// store's dependencies exported and their own exports land in it.
+func RunFacts(pkg *Package, cfg *Config, analyzers []*Analyzer, facts *FactStore) ([]Diagnostic, error) {
 	idx := buildAllowIndex(pkg.Fset, pkg.Files)
 	var out []Diagnostic
 	for _, a := range analyzers {
@@ -97,6 +146,8 @@ func Run(pkg *Package, cfg *Config, analyzers []*Analyzer) ([]Diagnostic, error)
 			TypesInfo: pkg.Info,
 			Config:    cfg,
 			diags:     &diags,
+			facts:     facts,
+			allow:     idx,
 		}
 		if err := a.Run(pass); err != nil {
 			return nil, fmt.Errorf("analyzer %s: %w", a.Name, err)
@@ -106,6 +157,21 @@ func Run(pkg *Package, cfg *Config, analyzers []*Analyzer) ([]Diagnostic, error)
 	out = append(out, idx.validate(analyzers)...)
 	sort.SliceStable(out, func(i, j int) bool { return out[i].Pos < out[j].Pos })
 	return out, nil
+}
+
+// registry holds every analyzer name the detlint suite has ever
+// registered in this process. Allow-directive validation checks names
+// against it rather than against the currently running subset: a
+// fixture (or a future partial invocation) that runs one pass must not
+// flag a directive naming another legitimate pass as a typo.
+var registry = map[string]bool{}
+
+// Register records a's name as a known analyzer. Pass packages call it
+// from init, so importing a pass anywhere makes its directives
+// validate.
+func Register(a *Analyzer) *Analyzer {
+	registry[a.Name] = true
+	return a
 }
 
 // PkgFuncOf resolves a package-qualified selector (time.Now,

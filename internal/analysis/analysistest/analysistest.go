@@ -37,46 +37,69 @@ import (
 	"repro/internal/analysis"
 )
 
-// Run analyzes each named package under dir/src and checks the
-// findings against the // want comments in its sources.
+// Run analyzes each named package under dir/src, in order, and checks
+// the findings against the // want comments in its sources.
+//
+// Packages share one fact store and one importer: a later package that
+// imports an earlier one (by its directory name as import path) sees
+// both its real type information and the facts the analyzer exported
+// for it, mirroring how cmd/go threads vetx files through a build.
+// Order the packages dependency-first.
 func Run(t *testing.T, dir string, a *analysis.Analyzer, cfg *analysis.Config, pkgs ...string) {
 	t.Helper()
+	imp := stubImporter{make(map[string]*types.Package)}
+	facts := analysis.NewFactStore()
 	for _, pkg := range pkgs {
-		runOne(t, filepath.Join(dir, "src", pkg), pkg, a, cfg)
+		runOne(t, filepath.Join(dir, "src", pkg), pkg, a, cfg, imp, facts)
+		facts.Seal(pkg)
 	}
 }
 
-func runOne(t *testing.T, dir, pkgPath string, a *analysis.Analyzer, cfg *analysis.Config) {
+// RunFixes analyzes one package, applies every suggested fix, and
+// compares each rewritten file byte-for-byte against its committed
+// <name>.golden sibling. Files without fixes must have no golden.
+func RunFixes(t *testing.T, dir string, a *analysis.Analyzer, cfg *analysis.Config, pkg string) {
+	t.Helper()
+	pkgDir := filepath.Join(dir, "src", pkg)
+	fset := token.NewFileSet()
+	files, err := parseDir(fset, pkgDir)
+	if err != nil {
+		t.Fatalf("%s: %v", pkg, err)
+	}
+	diags := analyze(t, fset, files, pkg, a, cfg,
+		stubImporter{make(map[string]*types.Package)}, analysis.NewFactStore())
+	fixed, err := analysis.ApplyFixes(fset, diags, os.ReadFile)
+	if err != nil {
+		t.Fatalf("%s: applying fixes: %v", pkg, err)
+	}
+	for name, got := range fixed {
+		golden := name + ".golden"
+		want, err := os.ReadFile(golden)
+		if err != nil {
+			t.Errorf("%s: fixes rewrote the file but no golden exists:\n%s", name, got)
+			continue
+		}
+		if string(got) != string(want) {
+			t.Errorf("%s: fixed output differs from golden:\n%s",
+				name, analysis.Diff(golden, want, got))
+		}
+	}
+	goldens, _ := filepath.Glob(filepath.Join(pkgDir, "*.golden"))
+	for _, g := range goldens {
+		if _, ok := fixed[strings.TrimSuffix(g, ".golden")]; !ok {
+			t.Errorf("%s exists but fixes did not rewrite its source file", g)
+		}
+	}
+}
+
+func runOne(t *testing.T, dir, pkgPath string, a *analysis.Analyzer, cfg *analysis.Config, imp stubImporter, facts *analysis.FactStore) {
 	t.Helper()
 	fset := token.NewFileSet()
 	files, err := parseDir(fset, dir)
 	if err != nil {
 		t.Fatalf("%s: %v", pkgPath, err)
 	}
-
-	info := &types.Info{
-		Types:      make(map[ast.Expr]types.TypeAndValue),
-		Defs:       make(map[*ast.Ident]types.Object),
-		Uses:       make(map[*ast.Ident]types.Object),
-		Implicits:  make(map[ast.Node]types.Object),
-		Selections: make(map[*ast.SelectorExpr]*types.Selection),
-	}
-	tc := &types.Config{
-		Importer: stubImporter{make(map[string]*types.Package)},
-		Error:    func(error) {}, // stub imports guarantee errors; analyzers must cope
-	}
-	pkg, _ := tc.Check(pkgPath, fset, files, info)
-
-	diags, err := analysis.Run(&analysis.Package{
-		Fset:  fset,
-		Files: files,
-		Path:  pkgPath,
-		Types: pkg,
-		Info:  info,
-	}, cfg, []*analysis.Analyzer{a})
-	if err != nil {
-		t.Fatalf("%s: %v", pkgPath, err)
-	}
+	diags := analyze(t, fset, files, pkgPath, a, cfg, imp, facts)
 
 	wants := collectWants(t, fset, files)
 	for _, d := range diags {
@@ -93,6 +116,39 @@ func runOne(t *testing.T, dir, pkgPath string, a *analysis.Analyzer, cfg *analys
 			}
 		}
 	}
+}
+
+func analyze(t *testing.T, fset *token.FileSet, files []*ast.File, pkgPath string, a *analysis.Analyzer, cfg *analysis.Config, imp stubImporter, facts *analysis.FactStore) []analysis.Diagnostic {
+	t.Helper()
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	tc := &types.Config{
+		Importer: imp,
+		Error:    func(error) {}, // stub imports guarantee errors; analyzers must cope
+	}
+	pkg, _ := tc.Check(pkgPath, fset, files, info)
+	if pkg != nil {
+		// Later fixture packages import this one for real.
+		pkg.MarkComplete()
+		imp.pkgs[pkgPath] = pkg
+	}
+
+	diags, err := analysis.RunFacts(&analysis.Package{
+		Fset:  fset,
+		Files: files,
+		Path:  pkgPath,
+		Types: pkg,
+		Info:  info,
+	}, cfg, []*analysis.Analyzer{a}, facts)
+	if err != nil {
+		t.Fatalf("%s: %v", pkgPath, err)
+	}
+	return diags
 }
 
 func parseDir(fset *token.FileSet, dir string) ([]*ast.File, error) {

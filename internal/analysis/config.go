@@ -35,6 +35,38 @@ type Config struct {
 	// runtimes (internal/pool worker slabs, internal/core worker
 	// ranks) are simply left out of the scope.
 	GoroutineScope []string `json:"goroutine_scope"`
+
+	// AllocPath packages carry per-function allocation summaries in
+	// their facts; allocsteady walks the call graph they form.
+	AllocPath []string `json:"alloc_path"`
+	// AllocRoots are the function keys (pkg.Name for functions,
+	// pkg.Recv.Name for methods, pointer markers stripped) anchoring
+	// the zero-alloc steady state: every function reachable from a
+	// root must not allocate. These are the collide-stream,
+	// halo-exchange and step-driver kernels whose ns/cell trajectory
+	// BENCH_main.json gates.
+	AllocRoots []string `json:"alloc_roots"`
+	// LockScope packages have their sync.Mutex/RWMutex acquisition
+	// orders summarized; lockorder flags a pair of locks taken in
+	// opposite orders anywhere across the scope.
+	LockScope []string `json:"lock_scope"`
+	// EventScope packages are bound by the event-completeness
+	// invariant: a function mutating one of EventMutations must reach
+	// one of EventEmitters before returning.
+	EventScope []string `json:"event_scope"`
+	// EventMutations are "pkg.Type.field" keys whose assignment moves a
+	// job's phase or placement.
+	EventMutations []string `json:"event_mutations"`
+	// EventEmitters are the function keys that deliver a typed Event to
+	// the decision stream.
+	EventEmitters []string `json:"event_emitters"`
+	// CkptScope packages participate in snapshot/restore pairing:
+	// their reads and writes of CkptRecords fields are summarized.
+	CkptScope []string `json:"ckpt_scope"`
+	// CkptRecords are the "pkg.Type" record structs whose field sets
+	// must balance: every field written on the save side read on the
+	// restore side, and vice versa.
+	CkptRecords []string `json:"ckpt_records"`
 }
 
 // Default returns the scopes for this repository.
@@ -67,6 +99,71 @@ func Default() *Config {
 			"repro/farm",
 			"repro/farm/workload",
 			"repro/farm/autoscale",
+		},
+		// Everything the steady-state kernels touch: the solvers, the
+		// halo copies, the worker step driver, and the small leaf
+		// packages (grids, filter plans, the shared pool) the hot loops
+		// call into.
+		AllocPath: []string{
+			"repro/internal/lbm",
+			"repro/internal/fd",
+			"repro/internal/halo",
+			"repro/internal/core",
+			"repro/internal/grid",
+			"repro/internal/filter",
+			"repro/internal/fluid",
+			"repro/internal/pool",
+		},
+		AllocRoots: []string{
+			"repro/internal/lbm.Solver2D.Compute",
+			"repro/internal/lbm.Solver2D.Pack",
+			"repro/internal/lbm.Solver2D.Unpack",
+			"repro/internal/lbm.Solver2D.StepSerial",
+			"repro/internal/lbm.Solver3D.Compute",
+			"repro/internal/lbm.Solver3D.Pack",
+			"repro/internal/lbm.Solver3D.Unpack",
+			"repro/internal/lbm.Solver3D.StepSerial",
+			"repro/internal/fd.Solver2D.Compute",
+			"repro/internal/fd.Solver2D.Pack",
+			"repro/internal/fd.Solver2D.Unpack",
+			"repro/internal/fd.Solver2D.StepSerial",
+			"repro/internal/fd.Solver3D.Compute",
+			"repro/internal/fd.Solver3D.Pack",
+			"repro/internal/fd.Solver3D.Unpack",
+			"repro/internal/fd.Solver3D.StepSerial",
+			"repro/internal/core.Worker.RunStep",
+		},
+		LockScope: []string{
+			"repro/internal/pool",
+			"repro/internal/msg",
+			"repro/internal/sched/...",
+			"repro/farm",
+			"repro/farm/workload",
+			"repro/farm/autoscale",
+		},
+		EventScope: []string{
+			"repro/internal/sched",
+		},
+		EventMutations: []string{
+			"repro/internal/sched.jobState.res",
+			"repro/internal/sched.Scheduler.queue",
+			"repro/internal/sched.Scheduler.running",
+			"repro/internal/sched.Scheduler.finished",
+		},
+		EventEmitters: []string{
+			"repro/internal/sched.Scheduler.emit",
+		},
+		CkptScope: []string{
+			"repro/internal/ckpt",
+			"repro/internal/cluster",
+			"repro/internal/sched/...",
+		},
+		CkptRecords: []string{
+			"repro/internal/ckpt.Manifest",
+			"repro/internal/ckpt.JobRecord",
+			"repro/internal/cluster.Snapshot",
+			"repro/internal/cluster.HostState",
+			"repro/internal/cluster.EventState",
 		},
 	}
 }
@@ -141,5 +238,9 @@ func (c *Config) InScope(path string) bool {
 	return Match(c.Deterministic, path) ||
 		Match(c.ErrorSurface, path) ||
 		Match(c.RNGScope, path) ||
-		Match(c.GoroutineScope, path)
+		Match(c.GoroutineScope, path) ||
+		Match(c.AllocPath, path) ||
+		Match(c.LockScope, path) ||
+		Match(c.EventScope, path) ||
+		Match(c.CkptScope, path)
 }

@@ -1,0 +1,203 @@
+package analysis
+
+import (
+	"bytes"
+	"fmt"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// The -fix half of the diagnostic contract. A pass that knows the
+// repair attaches a SuggestedFix; the driver turns the fixes for a run
+// into rewritten file contents (ApplyFixes) and, for the dry run, a
+// unified diff (Diff). Fixes are conservative by construction: edits
+// from different diagnostics that overlap are rejected rather than
+// merged, and a file is only rewritten when every one of its edits is
+// well-formed.
+
+type fileEdit struct {
+	start, end int
+	newText    string
+}
+
+// ApplyFixes materializes every suggested fix in diags. read loads a
+// file's current contents by the name the FileSet knows it under; the
+// result maps each edited file name to its new contents. Identical
+// duplicate edits (two diagnostics proposing the same repair) collapse
+// to one; genuinely overlapping edits are an error.
+func ApplyFixes(fset *token.FileSet, diags []Diagnostic, read func(string) ([]byte, error)) (map[string][]byte, error) {
+	byFile := make(map[string][]fileEdit)
+	for _, d := range diags {
+		for _, fix := range d.Fixes {
+			for _, e := range fix.Edits {
+				p, q := fset.Position(e.Pos), fset.Position(e.End)
+				if p.Filename == "" || q.Filename != p.Filename || q.Offset < p.Offset {
+					return nil, fmt.Errorf("fix %q: invalid edit span", fix.Message)
+				}
+				byFile[p.Filename] = append(byFile[p.Filename], fileEdit{p.Offset, q.Offset, e.NewText})
+			}
+		}
+	}
+	out := make(map[string][]byte)
+	for name, edits := range byFile {
+		sort.SliceStable(edits, func(i, j int) bool {
+			if edits[i].start != edits[j].start {
+				return edits[i].start < edits[j].start
+			}
+			return edits[i].end < edits[j].end
+		})
+		src, err := read(name)
+		if err != nil {
+			return nil, err
+		}
+		var buf bytes.Buffer
+		last := 0
+		for i, e := range edits {
+			if i > 0 && e == edits[i-1] {
+				continue // duplicate suggestion
+			}
+			if e.start < last {
+				return nil, fmt.Errorf("%s: overlapping suggested fixes at offset %d", name, e.start)
+			}
+			if e.end > len(src) {
+				return nil, fmt.Errorf("%s: suggested fix past end of file", name)
+			}
+			buf.Write(src[last:e.start])
+			buf.WriteString(e.newText)
+			last = e.end
+		}
+		buf.Write(src[last:])
+		if !bytes.Equal(buf.Bytes(), src) {
+			out[name] = append([]byte(nil), buf.Bytes()...)
+		}
+	}
+	return out, nil
+}
+
+// Diff renders a unified diff between two versions of a file, for the
+// -fix dry run. It is a plain line-level LCS — quadratic, fine for
+// source files — with three lines of context per hunk.
+func Diff(name string, oldSrc, newSrc []byte) string {
+	a := splitLines(oldSrc)
+	b := splitLines(newSrc)
+	// LCS table.
+	n, m := len(a), len(b)
+	lcs := make([][]int, n+1)
+	for i := range lcs {
+		lcs[i] = make([]int, m+1)
+	}
+	for i := n - 1; i >= 0; i-- {
+		for j := m - 1; j >= 0; j-- {
+			if a[i] == b[j] {
+				lcs[i][j] = lcs[i+1][j+1] + 1
+			} else if lcs[i+1][j] >= lcs[i][j+1] {
+				lcs[i][j] = lcs[i+1][j]
+			} else {
+				lcs[i][j] = lcs[i][j+1]
+			}
+		}
+	}
+	type op struct {
+		kind byte // ' ', '-', '+'
+		text string
+	}
+	var ops []op
+	for i, j := 0, 0; i < n || j < m; {
+		switch {
+		case i < n && j < m && a[i] == b[j]:
+			ops = append(ops, op{' ', a[i]})
+			i++
+			j++
+		case j < m && (i == n || lcs[i][j+1] >= lcs[i+1][j]):
+			ops = append(ops, op{'+', b[j]})
+			j++
+		default:
+			ops = append(ops, op{'-', a[i]})
+			i++
+		}
+	}
+
+	const ctx = 3
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "--- %s\n+++ %s\n", name, name)
+	// Walk ops grouping changed regions (with context) into hunks.
+	aLine, bLine := 1, 1
+	i := 0
+	for i < len(ops) {
+		// Skip unchanged run.
+		for i < len(ops) && ops[i].kind == ' ' {
+			aLine++
+			bLine++
+			i++
+		}
+		if i == len(ops) {
+			break
+		}
+		// Hunk starts ctx lines back.
+		start := i
+		lead := 0
+		for start > 0 && lead < ctx && ops[start-1].kind == ' ' {
+			start--
+			lead++
+		}
+		hunkA, hunkB := aLine-lead, bLine-lead
+		// Extend through changes separated by ≤ 2*ctx unchanged lines.
+		end := i
+		for j := i; j < len(ops); {
+			if ops[j].kind != ' ' {
+				end = j + 1
+				j++
+				continue
+			}
+			run := 0
+			for j+run < len(ops) && ops[j+run].kind == ' ' {
+				run++
+			}
+			if j+run < len(ops) && run <= 2*ctx {
+				j += run
+				continue
+			}
+			break
+		}
+		trail := 0
+		for end < len(ops) && trail < ctx && ops[end].kind == ' ' {
+			end++
+			trail++
+		}
+		countA, countB := 0, 0
+		for _, o := range ops[start:end] {
+			if o.kind != '+' {
+				countA++
+			}
+			if o.kind != '-' {
+				countB++
+			}
+		}
+		fmt.Fprintf(&sb, "@@ -%d,%d +%d,%d @@\n", hunkA, countA, hunkB, countB)
+		for _, o := range ops[start:end] {
+			sb.WriteByte(o.kind)
+			sb.WriteString(o.text)
+			sb.WriteByte('\n')
+		}
+		for _, o := range ops[i:end] {
+			if o.kind != '+' {
+				aLine++
+			}
+			if o.kind != '-' {
+				bLine++
+			}
+		}
+		i = end
+	}
+	return sb.String()
+}
+
+func splitLines(src []byte) []string {
+	s := string(src)
+	s = strings.TrimSuffix(s, "\n")
+	if s == "" {
+		return nil
+	}
+	return strings.Split(s, "\n")
+}

@@ -1,0 +1,59 @@
+package a
+
+type K struct {
+	buf []float64
+	out []float64
+	fn  func()
+}
+
+func (k *K) Step() error {
+	k.relax()
+	if len(k.buf) != len(k.out) {
+		// Cold exit path: the block ends by returning an error, so the
+		// formatter's implicit variadic slice is exempt.
+		return errf("mismatch %d", len(k.buf))
+	}
+	buf := make([]float64, 8) // want `make on the zero-alloc steady path \(reachable from a\.K\.Step\)`
+	_ = buf
+	k.buf = append(k.buf, 1)    // want `append \(growth reallocates\) on the zero-alloc steady path`
+	m := map[string]int{"x": 1} // want `map literal on the zero-alloc steady path`
+	_ = m
+	s := []int{1, 2} // want `slice literal \(backing array\) on the zero-alloc steady path`
+	_ = s
+	p := &K{} // want `composite literal escapes to the heap`
+	_ = p
+	v := K{} // by-value struct literal: not an allocation
+	_ = v
+	var arr [4]float64 // array: not an allocation
+	_ = arr
+	wrap := func(i int) int { return i % len(k.buf) } // local-only closure: stack-allocated
+	_ = wrap(3)
+	k.fn = func() {}       // want `closure \(captures escape\) on the zero-alloc steady path`
+	_ = sprintf("x %d", 1) // want `implicit argument slice for variadic call`
+	i := any(k)            // want `conversion to interface \(boxes the value\)`
+	_ = i
+	k.buf = append(k.buf, 2) //detlint:allow allocsteady -- scratch retains capacity across steps
+	k.hot()
+	return nil
+}
+
+func (k *K) relax() {
+	for i := range k.buf {
+		k.out[i] = 0.5 * k.buf[i]
+	}
+}
+
+func (k *K) hot() {
+	if len(k.buf) == 0 {
+		panic(sprintf("empty buffer rank %d", 0)) // panic argument: off the steady path
+	}
+	k.out = make([]float64, 4) // want `make on the zero-alloc steady path`
+}
+
+func (k *K) unreached() {
+	_ = make([]int, 3) // not reachable from the root: clean
+}
+
+func sprintf(f string, args ...int) string { return f }
+
+func errf(f string, args ...int) error { return nil }

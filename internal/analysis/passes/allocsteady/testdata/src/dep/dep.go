@@ -1,0 +1,15 @@
+// Package dep is the upstream half of the cross-package fixture: its
+// allocation is reported in package kern, at the call site that pulls
+// it onto the steady path. No finding lands here because no root lives
+// here.
+package dep
+
+func Hot(n int) []float64 {
+	return make([]float64, n)
+}
+
+func Clean(dst []float64, v float64) {
+	for i := range dst {
+		dst[i] = v
+	}
+}

@@ -1,0 +1,20 @@
+package kern
+
+import "dep"
+
+type S struct {
+	buf []float64
+	out []float64
+}
+
+func (s *S) Step() {
+	s.relax()
+	dep.Clean(s.out, 0)
+	s.buf = dep.Hot(len(s.buf)) // want `call reaches a steady-path allocation: make in dep\.Hot .* \(reachable from kern\.S\.Step\)`
+}
+
+func (s *S) relax() {
+	for i := range s.buf {
+		s.out[i] = 0.5 * s.buf[i]
+	}
+}

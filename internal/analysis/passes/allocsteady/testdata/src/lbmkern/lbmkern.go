@@ -1,0 +1,28 @@
+// Package lbmkern is a miniature of internal/lbm's collide-stream
+// kernel with a seeded regression: an append crept into the relaxation
+// loop, the exact class of drift allocsteady exists to catch before
+// the bench gate trips.
+package lbmkern
+
+type Solver struct {
+	rho  []float64
+	f0   []float64
+	f1   []float64
+	hist []float64
+}
+
+func (s *Solver) Compute() {
+	s.collide()
+	s.stream()
+}
+
+func (s *Solver) collide() {
+	for i := range s.f0 {
+		s.f1[i] = 0.9*s.f0[i] + 0.1*s.rho[i%len(s.rho)]
+		s.hist = append(s.hist, s.f1[i]) // want `append \(growth reallocates\) on the zero-alloc steady path \(reachable from lbmkern\.Solver\.Compute\)`
+	}
+}
+
+func (s *Solver) stream() {
+	copy(s.f0, s.f1)
+}

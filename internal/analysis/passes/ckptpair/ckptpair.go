@@ -1,0 +1,326 @@
+// Package ckptpair balances the two sides of a checkpoint: every
+// field of a record struct (config ckpt_records) written on the save
+// side must be read on the restore side, and every field the restore
+// side consumes must be produced by a save. The drift this catches is
+// the silent kind behind the open cross-machine-restore item — a new
+// field added to the snapshot writer but never replayed, or a restore
+// reading a field nothing populates (always the zero value, quietly).
+//
+// Each package in ckpt_scope exports, per record type, the set of
+// fields it writes and reads, with positions. A package reports the
+// imbalance only once both sides are in view — its own accesses merged
+// with every dependency's — so the finding lands at the package that
+// completes the pair (internal/sched for the ckpt manifest records,
+// internal/cluster for its own snapshot).
+//
+// Mutation-reads do not count as restore reads: in
+// m.Jobs = append(m.Jobs, jr), the right-hand m.Jobs is part of the
+// write, and letting it self-balance would hide exactly the
+// written-never-restored drift the pass exists for.
+package ckptpair
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/dataflow"
+)
+
+var Analyzer = analysis.Register(&analysis.Analyzer{
+	Name: "ckptpair",
+	Doc: "flag checkpoint record fields written by the save side but never read " +
+		"on the restore side, and vice versa, across the ckpt_scope packages",
+	Run: run,
+})
+
+type fact struct {
+	// Records maps record type key -> field name -> access positions.
+	Writes map[string]map[string][]string `json:"writes,omitempty"`
+	Reads  map[string]map[string][]string `json:"reads,omitempty"`
+}
+
+type access struct {
+	record string
+	field  string
+	pos    token.Pos
+}
+
+func run(pass *analysis.Pass) error {
+	if !analysis.Match(pass.Config.CkptScope, pass.PkgPath) {
+		return nil
+	}
+	records := make(map[string]bool, len(pass.Config.CkptRecords))
+	for _, r := range pass.Config.CkptRecords {
+		records[r] = true
+	}
+	if len(records) == 0 {
+		return nil
+	}
+
+	writes, reads := collect(pass, records)
+
+	out := fact{Writes: make(map[string]map[string][]string), Reads: make(map[string]map[string][]string)}
+	addFact := func(m map[string]map[string][]string, accs []access) {
+		for _, a := range accs {
+			fm := m[a.record]
+			if fm == nil {
+				fm = make(map[string][]string)
+				m[a.record] = fm
+			}
+			fm[a.field] = append(fm[a.field], dataflow.Posn(pass.Fset, a.pos))
+		}
+	}
+	addFact(out.Writes, writes)
+	addFact(out.Reads, reads)
+	if err := pass.ExportFact(&out); err != nil {
+		return err
+	}
+
+	// Merge every dependency's accesses with our own.
+	mergedW := make(map[string]map[string][]string)
+	mergedR := make(map[string]map[string][]string)
+	merge := func(dst map[string]map[string][]string, src map[string]map[string][]string) {
+		for rec, fm := range src {
+			d := dst[rec]
+			if d == nil {
+				d = make(map[string][]string)
+				dst[rec] = d
+			}
+			for f, posns := range fm {
+				d[f] = append(d[f], posns...)
+			}
+		}
+	}
+	for _, dep := range pass.FactPackages() {
+		var f fact
+		if ok, err := pass.ImportFact(dep, &f); err != nil {
+			return err
+		} else if !ok {
+			continue
+		}
+		merge(mergedW, f.Writes)
+		merge(mergedR, f.Reads)
+	}
+	merge(mergedW, out.Writes)
+	merge(mergedR, out.Reads)
+
+	// Local positions, for anchoring reports.
+	localW := indexLocal(writes)
+	localR := indexLocal(reads)
+
+	var recs []string
+	for rec := range records {
+		recs = append(recs, rec)
+	}
+	sort.Strings(recs)
+	for _, rec := range recs {
+		w, r := mergedW[rec], mergedR[rec]
+		// Both sides must be in view before imbalance means anything:
+		// an upstream package seeing only the writer half stays quiet.
+		if len(w) == 0 || len(r) == 0 {
+			continue
+		}
+		for _, f := range sortedFields(w) {
+			if _, ok := r[f]; ok {
+				continue
+			}
+			report(pass, localW, rec, f, w[f],
+				"field "+f+" of "+rec+" is written by the save side but never read on the restore side")
+		}
+		for _, f := range sortedFields(r) {
+			if _, ok := w[f]; ok {
+				continue
+			}
+			report(pass, localR, rec, f, r[f],
+				"field "+f+" of "+rec+" is read on the restore side but never written by the save side")
+		}
+	}
+	return nil
+}
+
+// report anchors a finding at a local access position when one exists;
+// otherwise — the unbalanced access lives entirely in a dependency —
+// at the package clause, citing the remote position.
+func report(pass *analysis.Pass, local map[[2]string][]token.Pos, rec, field string, posns []string, msg string) {
+	if ps := local[[2]string{rec, field}]; len(ps) > 0 {
+		pass.Reportf(ps[0], "%s", msg)
+		return
+	}
+	sort.Strings(posns)
+	pass.Reportf(pass.Files[0].Name.Pos(), "%s (at %s)", msg, posns[0])
+}
+
+func indexLocal(accs []access) map[[2]string][]token.Pos {
+	m := make(map[[2]string][]token.Pos)
+	for _, a := range accs {
+		key := [2]string{a.record, a.field}
+		m[key] = append(m[key], a.pos)
+	}
+	for _, ps := range m {
+		sort.Slice(ps, func(i, j int) bool { return ps[i] < ps[j] })
+	}
+	return m
+}
+
+func sortedFields(m map[string][]string) []string {
+	fields := make([]string, 0, len(m))
+	for f := range m {
+		fields = append(fields, f)
+	}
+	sort.Strings(fields)
+	return fields
+}
+
+// collect walks the package's non-test files for accesses to record
+// fields. Writes: assignment left-hand sides, ++/--, and composite
+// literal fields (keyed, or all fields for unkeyed literals). Reads:
+// every other selector resolving to a record field — except reads of a
+// field the same statement assigns, which are part of the mutation.
+func collect(pass *analysis.Pass, records map[string]bool) (writes, reads []access) {
+	split := func(sel *ast.SelectorExpr) (access, bool) {
+		key, ok := dataflow.FieldKey(pass.TypesInfo, sel)
+		if !ok {
+			return access{}, false
+		}
+		i := strings.LastIndex(key, ".")
+		rec, field := key[:i], key[i+1:]
+		if !records[rec] || pass.Allowed(sel.Pos()) {
+			return access{}, false
+		}
+		return access{record: rec, field: field, pos: sel.Sel.Pos()}, true
+	}
+	// lhsTarget unwraps index/slice/deref around an assignment target.
+	lhsTarget := func(e ast.Expr) *ast.SelectorExpr {
+		for {
+			switch x := ast.Unparen(e).(type) {
+			case *ast.IndexExpr:
+				e = x.X
+			case *ast.SliceExpr:
+				e = x.X
+			case *ast.StarExpr:
+				e = x.X
+			default:
+				sel, _ := ast.Unparen(e).(*ast.SelectorExpr)
+				return sel
+			}
+		}
+	}
+
+	assignLHS := make(map[*ast.SelectorExpr]bool) // selectors that are write targets
+	mutated := make(map[ast.Node]map[[2]string]bool)
+
+	for _, file := range pass.Files {
+		if pass.IsTestFile(file) {
+			continue
+		}
+		// First sweep: mark assignment targets and note, per statement,
+		// which record fields it writes (for the self-read exemption).
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				for _, lhs := range n.Lhs {
+					if sel := lhsTarget(lhs); sel != nil {
+						assignLHS[sel] = true
+						if a, ok := split(sel); ok {
+							writes = append(writes, a)
+							fm := mutated[n]
+							if fm == nil {
+								fm = make(map[[2]string]bool)
+								mutated[n] = fm
+							}
+							fm[[2]string{a.record, a.field}] = true
+						}
+					}
+				}
+			case *ast.IncDecStmt:
+				if sel := lhsTarget(n.X); sel != nil {
+					assignLHS[sel] = true
+					if a, ok := split(sel); ok {
+						writes = append(writes, a)
+					}
+				}
+			case *ast.CompositeLit:
+				writes = append(writes, litWrites(pass, n, records, split)...)
+			}
+			return true
+		})
+		// Second sweep: reads — every record-field selector that is not
+		// a write target and not a self-read inside its own mutation.
+		var stack []ast.Node
+		ast.Inspect(file, func(n ast.Node) bool {
+			if n == nil {
+				stack = stack[:len(stack)-1]
+				return false
+			}
+			stack = append(stack, n)
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok || assignLHS[sel] {
+				return true
+			}
+			a, ok := split(sel)
+			if !ok {
+				return true
+			}
+			for _, anc := range stack {
+				if fm := mutated[anc]; fm != nil && fm[[2]string{a.record, a.field}] {
+					return true // self-read within the mutation
+				}
+			}
+			reads = append(reads, a)
+			return true
+		})
+	}
+	return writes, reads
+}
+
+// litWrites treats a composite literal of a record type as the save
+// side writing its fields: the named ones for keyed literals, all of
+// them for unkeyed.
+func litWrites(pass *analysis.Pass, lit *ast.CompositeLit, records map[string]bool, split func(*ast.SelectorExpr) (access, bool)) []access {
+	tv, ok := pass.TypesInfo.Types[lit]
+	if !ok || tv.Type == nil {
+		return nil
+	}
+	t := tv.Type
+	if p, okp := t.(*types.Pointer); okp {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return nil
+	}
+	rec := named.Obj().Pkg().Path() + "." + named.Obj().Name()
+	if !records[rec] {
+		return nil
+	}
+	st, ok := named.Underlying().(*types.Struct)
+	if !ok {
+		return nil
+	}
+	var out []access
+	if len(lit.Elts) > 0 {
+		if _, keyed := lit.Elts[0].(*ast.KeyValueExpr); keyed {
+			for _, elt := range lit.Elts {
+				kv, okkv := elt.(*ast.KeyValueExpr)
+				if !okkv {
+					continue
+				}
+				if id, okid := kv.Key.(*ast.Ident); okid && !pass.Allowed(kv.Pos()) {
+					out = append(out, access{record: rec, field: id.Name, pos: kv.Key.Pos()})
+				}
+			}
+			return out
+		}
+		// Unkeyed: positional, every field is written.
+		for i := 0; i < st.NumFields() && i < len(lit.Elts); i++ {
+			if !pass.Allowed(lit.Pos()) {
+				out = append(out, access{record: rec, field: st.Field(i).Name(), pos: lit.Elts[i].Pos()})
+			}
+		}
+	}
+	return out
+}

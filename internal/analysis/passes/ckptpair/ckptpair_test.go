@@ -1,0 +1,26 @@
+package ckptpair
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/analysistest"
+)
+
+func TestCkptPair(t *testing.T) {
+	cfg := &analysis.Config{
+		CkptScope:   []string{"c"},
+		CkptRecords: []string{"c.Rec", "c.Manifest"},
+	}
+	analysistest.Run(t, "testdata", Analyzer, cfg, "c")
+}
+
+// TestCrossPackage: the save side lives in rec, the restore side in
+// user; both imbalances surface in user, where the pair completes.
+func TestCrossPackage(t *testing.T) {
+	cfg := &analysis.Config{
+		CkptScope:   []string{"rec", "user"},
+		CkptRecords: []string{"rec.Rec"},
+	}
+	analysistest.Run(t, "testdata", Analyzer, cfg, "rec", "user")
+}

@@ -1,0 +1,50 @@
+package c
+
+type Rec struct {
+	A int
+	B int
+	C int
+	D int
+	E int
+}
+
+type Box struct {
+	a, b int
+	jobs []int
+	rec  Rec
+}
+
+// Snapshot is the save side: A and B round-trip, C is written and
+// never restored, E is written under an allow (derived on load).
+func (b *Box) Snapshot() *Rec {
+	return &Rec{
+		A: b.a,
+		B: b.b,
+		C: 3, // want `field C of c\.Rec is written by the save side but never read on the restore side`
+		E: 5, //detlint:allow ckptpair -- E is a derived cache, recomputed on restore
+	}
+}
+
+// Restore is the load side: D is read but nothing ever writes it.
+func (b *Box) Restore(r *Rec) {
+	b.a = r.A
+	b.b = r.B
+	b.jobs = append(b.jobs, r.D) // want `field D of c\.Rec is read on the restore side but never written by the save side`
+}
+
+// Manifest exercises the self-append mitigation: the right-hand read
+// in m.Jobs = append(m.Jobs, j) is part of the mutation and must not
+// balance the write.
+type Manifest struct {
+	Jobs  []int
+	Count int
+}
+
+func (b *Box) record(m *Manifest, j int) {
+	m.Jobs = append(m.Jobs, j) // want `field Jobs of c\.Manifest is written by the save side but never read on the restore side`
+	m.Count++
+}
+
+func (b *Box) load(m *Manifest) {
+	b.a = m.Count
+}

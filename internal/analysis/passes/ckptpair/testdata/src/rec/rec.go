@@ -1,0 +1,14 @@
+// Package rec is the upstream half of the cross-package fixture: the
+// save side lives here, the restore side in package user. Nothing is
+// reported here — only the writer half is in view.
+package rec
+
+type Rec struct {
+	A int
+	B int
+	C int
+}
+
+func Save(a, b int) *Rec {
+	return &Rec{A: a, B: b}
+}

@@ -1,0 +1,15 @@
+// Package user completes the pair: rec's writes arrive as facts, and
+// the C read below has no matching write anywhere, while rec's B write
+// has no reader — both reported here, where both sides are in view.
+package user // want `field B of rec\.Rec is written by the save side but never read on the restore side`
+
+import "rec"
+
+type App struct {
+	a, c int
+}
+
+func (ap *App) Load(r *rec.Rec) {
+	ap.a = r.A
+	ap.c = r.C // want `field C of rec\.Rec is read on the restore side but never written by the save side`
+}

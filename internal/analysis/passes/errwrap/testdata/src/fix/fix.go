@@ -1,0 +1,17 @@
+// Package fix is errwrap fix-golden input: fix.go.golden holds the
+// byte-for-byte result of the one-character %v/%s → %w verb repairs.
+package fix
+
+import "fmt"
+
+func wrapV(err error) error {
+	return fmt.Errorf("farm: submit: %v", err)
+}
+
+func wrapMixed(base, err error) error {
+	return fmt.Errorf("farm: %w: %s", base, err)
+}
+
+func wrapFlags(n int, err error) error {
+	return fmt.Errorf("farm: rank %03d: %+v", n, err)
+}

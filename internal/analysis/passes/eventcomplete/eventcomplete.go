@@ -1,0 +1,238 @@
+// Package eventcomplete enforces the scheduler's event-completeness
+// invariant, established by convention when the typed event stream
+// landed: every function that mutates a job's phase or placement (the
+// fields named in config event_mutations) must deliver a typed Event —
+// reach one of the event_emitters, directly or through its callees —
+// before it returns. Replay tooling reconstructs scheduler state from
+// the event stream alone, so a silent mutation is a determinism bug
+// waiting for a migration to expose it.
+//
+// The obligation sits on the mutating function itself, not somewhere
+// up its call chain: "my caller probably emits" is exactly the
+// convention drift this pass exists to catch. Deliberate exceptions
+// (restore paths replaying recorded events, teardown after the stream
+// is closed) carry //detlint:allow eventcomplete directives.
+//
+// The pass attaches a suggested fix: an emit stub after the mutation,
+// for -fix to materialize, marked TODO because choosing the right
+// event type is the author's call.
+package eventcomplete
+
+import (
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/dataflow"
+)
+
+var Analyzer = analysis.Register(&analysis.Analyzer{
+	Name: "eventcomplete",
+	Doc: "flag functions that mutate job phase/placement fields (config " +
+		"event_mutations) without reaching an event emitter before returning",
+	Run: run,
+})
+
+type fact struct {
+	Funcs map[string]funcSummary `json:"funcs"`
+}
+
+type funcSummary struct {
+	Emits bool     `json:"emits,omitempty"`
+	Calls []string `json:"calls,omitempty"`
+}
+
+type mutation struct {
+	field string
+	stmt  ast.Stmt
+	pos   token.Pos
+}
+
+func run(pass *analysis.Pass) error {
+	if !analysis.Match(pass.Config.EventScope, pass.PkgPath) {
+		return nil
+	}
+	mutSet := make(map[string]bool, len(pass.Config.EventMutations))
+	for _, m := range pass.Config.EventMutations {
+		mutSet[m] = true
+	}
+	emitSet := make(map[string]bool, len(pass.Config.EventEmitters))
+	for _, e := range pass.Config.EventEmitters {
+		emitSet[e] = true
+	}
+
+	funcs := dataflow.Functions(pass)
+	out := fact{Funcs: make(map[string]funcSummary, len(funcs))}
+	muts := make(map[string][]mutation, len(funcs))
+	decls := make(map[string]*ast.FuncDecl, len(funcs))
+	for _, fn := range funcs {
+		sum := funcSummary{Calls: dataflow.Calls(pass, fn.Decl.Body)}
+		for _, c := range sum.Calls {
+			if emitSet[c] {
+				sum.Emits = true
+			}
+		}
+		out.Funcs[fn.Key] = sum
+		muts[fn.Key] = collectMutations(pass, fn.Decl, mutSet)
+		decls[fn.Key] = fn.Decl
+	}
+	if err := pass.ExportFact(&out); err != nil {
+		return err
+	}
+
+	merged := make(map[string]funcSummary)
+	for _, dep := range pass.FactPackages() {
+		var f fact
+		if ok, err := pass.ImportFact(dep, &f); err != nil {
+			return err
+		} else if !ok {
+			continue
+		}
+		for key, sum := range f.Funcs {
+			merged[key] = sum
+		}
+	}
+	for key, sum := range out.Funcs {
+		merged[key] = sum
+	}
+	reach := &emitReach{funcs: merged, emitters: emitSet, memo: make(map[string]int)}
+
+	keys := make([]string, 0, len(muts))
+	for k := range muts {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, key := range keys {
+		if len(muts[key]) == 0 || reach.emits(key) {
+			continue
+		}
+		for _, m := range muts[key] {
+			d := analysis.Diagnostic{
+				Pos: m.pos,
+				Message: "mutates " + m.field +
+					" without emitting an event before returning (event-completeness invariant)",
+			}
+			if fix, ok := emitStub(pass, decls[key], m.stmt); ok {
+				d.Fixes = append(d.Fixes, fix)
+			}
+			pass.Report(d)
+		}
+	}
+	return nil
+}
+
+// collectMutations finds statements assigning to one of the tracked
+// fields: plain and compound assignment, and ++/--. An index or slice
+// expression over a tracked field counts too — reordering s.running in
+// place is as much a placement change as replacing it.
+func collectMutations(pass *analysis.Pass, fd *ast.FuncDecl, mutSet map[string]bool) []mutation {
+	var muts []mutation
+	addLHS := func(stmt ast.Stmt, e ast.Expr) {
+		for {
+			switch x := ast.Unparen(e).(type) {
+			case *ast.IndexExpr:
+				e = x.X
+				continue
+			case *ast.SliceExpr:
+				e = x.X
+				continue
+			case *ast.StarExpr:
+				e = x.X
+				continue
+			}
+			break
+		}
+		sel, ok := ast.Unparen(e).(*ast.SelectorExpr)
+		if !ok {
+			return
+		}
+		key, ok := dataflow.FieldKey(pass.TypesInfo, sel)
+		if !ok || !mutSet[key] || pass.Allowed(sel.Pos()) {
+			return
+		}
+		muts = append(muts, mutation{field: key, stmt: stmt, pos: sel.Pos()})
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				addLHS(n, lhs)
+			}
+		case *ast.IncDecStmt:
+			addLHS(n, n.X)
+		}
+		return true
+	})
+	return muts
+}
+
+// emitReach answers "can this function reach an emitter?" over the
+// merged summaries, memoized and cycle-safe.
+type emitReach struct {
+	funcs    map[string]funcSummary
+	emitters map[string]bool
+	memo     map[string]int // 0 unknown/visiting, 1 no, 2 yes
+}
+
+func (r *emitReach) emits(key string) bool {
+	if r.emitters[key] {
+		return true
+	}
+	switch r.memo[key] {
+	case 1:
+		return false
+	case 2:
+		return true
+	}
+	r.memo[key] = 1 // break cycles pessimistically
+	sum := r.funcs[key]
+	ok := sum.Emits
+	for _, c := range sum.Calls {
+		if ok {
+			break
+		}
+		ok = r.emits(c)
+	}
+	if ok {
+		r.memo[key] = 2
+	}
+	return ok
+}
+
+// emitStub builds the suggested fix: an emit call after the mutating
+// statement, on the receiver, when the function's receiver type owns
+// one of the configured emitters. nil Event forces a compile-visible
+// TODO rather than silently inventing an event type.
+func emitStub(pass *analysis.Pass, fd *ast.FuncDecl, stmt ast.Stmt) (analysis.SuggestedFix, bool) {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 || len(fd.Recv.List[0].Names) == 0 {
+		return analysis.SuggestedFix{}, false
+	}
+	recvName := fd.Recv.List[0].Names[0].Name
+	recvKey := dataflow.DeclKey(pass, fd) // pkg.Recv.Name
+	recvType := ""
+	if parts := strings.Split(recvKey, "."); len(parts) >= 2 {
+		recvType = parts[len(parts)-2]
+	}
+	method := ""
+	for _, e := range pass.Config.EventEmitters {
+		parts := strings.Split(e, ".")
+		if len(parts) >= 2 && parts[len(parts)-2] == recvType {
+			method = parts[len(parts)-1]
+			break
+		}
+	}
+	if method == "" {
+		return analysis.SuggestedFix{}, false
+	}
+	// Indentation: gofmt'd sources indent with tabs, one column each.
+	col := pass.Fset.Position(stmt.Pos()).Column
+	indent := strings.Repeat("\t", max(col-1, 0))
+	stub := "\n" + indent + recvName + "." + method +
+		"(nil) // TODO(detlint): emit the matching typed Event"
+	return analysis.SuggestedFix{
+		Message: "insert an emit stub after the mutation",
+		Edits:   []analysis.TextEdit{{Pos: stmt.End(), End: stmt.End(), NewText: stub}},
+	}, true
+}

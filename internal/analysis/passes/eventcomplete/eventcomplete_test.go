@@ -1,0 +1,37 @@
+package eventcomplete
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/analysistest"
+)
+
+func TestEventComplete(t *testing.T) {
+	cfg := &analysis.Config{
+		EventScope:     []string{"e"},
+		EventMutations: []string{"e.Sched.queue"},
+		EventEmitters:  []string{"e.Sched.emit"},
+	}
+	analysistest.Run(t, "testdata", Analyzer, cfg, "e")
+}
+
+// TestCrossPackage: ev mutates and discharges the obligation through a
+// call chain ending in evdep, known only via evdep's exported facts.
+func TestCrossPackage(t *testing.T) {
+	cfg := &analysis.Config{
+		EventScope:     []string{"evdep", "ev"},
+		EventMutations: []string{"ev.S.phase"},
+		EventEmitters:  []string{"evdep.Emit"},
+	}
+	analysistest.Run(t, "testdata", Analyzer, cfg, "evdep", "ev")
+}
+
+func TestEmitStubFix(t *testing.T) {
+	cfg := &analysis.Config{
+		EventScope:     []string{"fixpkg"},
+		EventMutations: []string{"fixpkg.Sched.queue"},
+		EventEmitters:  []string{"fixpkg.Sched.emit"},
+	}
+	analysistest.RunFixes(t, "testdata", Analyzer, cfg, "fixpkg")
+}

@@ -1,0 +1,46 @@
+package e
+
+type Event struct{ Kind string }
+
+type Sched struct {
+	queue  []int
+	events []Event
+}
+
+func (s *Sched) emit(e Event) {
+	s.events = append(s.events, e)
+}
+
+// Admit emits directly: complete.
+func (s *Sched) Admit(j int) {
+	s.queue = append(s.queue, j)
+	s.emit(Event{Kind: "queued"})
+}
+
+// Finish emits transitively through notify: complete.
+func (s *Sched) Finish() {
+	s.queue = s.queue[:0]
+	s.notify()
+}
+
+func (s *Sched) notify() {
+	s.emit(Event{Kind: "done"})
+}
+
+func (s *Sched) Drop() {
+	s.queue = s.queue[:len(s.queue)-1] // want `mutates e\.Sched\.queue without emitting an event before returning`
+}
+
+// In-place element writes are placement changes too.
+func (s *Sched) Reorder(i, j int) {
+	s.queue[i] = s.queue[j] // want `mutates e\.Sched\.queue without emitting an event before returning`
+}
+
+func (s *Sched) release() {
+	s.queue = nil //detlint:allow eventcomplete -- teardown after the event stream closes
+}
+
+// Untracked fields carry no obligation.
+func (s *Sched) trim() {
+	s.events = s.events[:0]
+}

@@ -1,0 +1,16 @@
+package ev
+
+import "evdep"
+
+type S struct{ phase int }
+
+// Advance reaches evdep.Emit through evdep.Forward — visible only via
+// evdep's exported summary.
+func (s *S) Advance() {
+	s.phase++
+	evdep.Forward("advance")
+}
+
+func (s *S) Skip() {
+	s.phase = 2 // want `mutates ev\.S\.phase without emitting an event before returning`
+}

@@ -1,0 +1,14 @@
+// Package evdep owns the event sink for the cross-package fixture:
+// Forward reaches the configured emitter, and the fact saying so is
+// what lets package ev's Advance pass without a local emit.
+package evdep
+
+var Events []string
+
+func Emit(kind string) {
+	Events = append(Events, kind)
+}
+
+func Forward(kind string) {
+	Emit(kind)
+}

@@ -1,0 +1,16 @@
+package fixpkg
+
+type Event struct{ Kind string }
+
+type Sched struct {
+	queue  []int
+	events []Event
+}
+
+func (s *Sched) emit(e *Event) {
+	s.events = append(s.events, *e)
+}
+
+func (s *Sched) Drop() {
+	s.queue = s.queue[:0]
+}

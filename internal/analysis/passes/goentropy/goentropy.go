@@ -20,12 +20,12 @@ import (
 	"repro/internal/analysis"
 )
 
-var Analyzer = &analysis.Analyzer{
+var Analyzer = analysis.Register(&analysis.Analyzer{
 	Name: "goentropy",
 	Doc: "flag go statements on the deterministic step/decision path; " +
 		"route parallelism through the internal/pool worker slabs",
 	Run: run,
-}
+})
 
 func run(pass *analysis.Pass) error {
 	if !analysis.Match(pass.Config.GoroutineScope, pass.PkgPath) {

@@ -1,0 +1,60 @@
+package l
+
+type Mutex struct{}
+
+func (m *Mutex) Lock()   {}
+func (m *Mutex) Unlock() {}
+
+var a, b Mutex
+
+func AB() {
+	a.Lock()
+	b.Lock() // want `acquires l\.b while holding l\.a, but l\.BA \(.*\) acquires them in the opposite order`
+	b.Unlock()
+	a.Unlock()
+}
+
+func BA() {
+	b.Lock()
+	a.Lock() // want `acquires l\.a while holding l\.b, but l\.AB \(.*\) acquires them in the opposite order`
+	a.Unlock()
+	b.Unlock()
+}
+
+type S struct {
+	mu   Mutex
+	next Mutex
+}
+
+// Fine and AlsoFine take the struct locks in the same order; a
+// deferred Unlock holds mu to function end without upsetting it.
+func (s *S) Fine() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.next.Lock()
+	s.next.Unlock()
+}
+
+func (s *S) AlsoFine() {
+	s.mu.Lock()
+	s.next.Lock()
+	s.next.Unlock()
+	s.mu.Unlock()
+}
+
+// Sequential acquisition after release creates no edge.
+func Sequential() {
+	b.Lock()
+	b.Unlock()
+	a.Lock()
+	a.Unlock()
+}
+
+// Local mutexes have no cross-function identity.
+func Local() {
+	var mu Mutex
+	mu.Lock()
+	a.Lock()
+	a.Unlock()
+	mu.Unlock()
+}

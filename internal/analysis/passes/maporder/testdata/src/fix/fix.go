@@ -1,0 +1,23 @@
+// Package fix is maporder fix-golden input: fix.go.golden holds the
+// byte-for-byte result of applying every suggested fix, covering the
+// sorted-keys rewrite, the sort-after-collect repair, and the "sort"
+// import insertion.
+package fix
+
+import (
+	"fmt"
+)
+
+func emitKV(m map[string]int) {
+	for k, v := range m {
+		fmt.Println(k, v)
+	}
+}
+
+func collect(m map[int]bool) []int {
+	var ids []int
+	for id := range m {
+		ids = append(ids, id)
+	}
+	return ids
+}

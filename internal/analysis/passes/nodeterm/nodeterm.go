@@ -21,12 +21,12 @@ import (
 	"repro/internal/analysis"
 )
 
-var Analyzer = &analysis.Analyzer{
+var Analyzer = analysis.Register(&analysis.Analyzer{
 	Name: "nodeterm",
 	Doc: "forbid ambient entropy (wall clock, global RNG) in deterministic packages; " +
 		"take time from the virtual clock and randomness from sched.SplitMix",
 	Run: run,
-}
+})
 
 // ambientTime lists time package functions that read the host clock,
 // directly or by arming against it.

@@ -19,12 +19,12 @@ import (
 	"repro/internal/analysis"
 )
 
-var Analyzer = &analysis.Analyzer{
+var Analyzer = analysis.Register(&analysis.Analyzer{
 	Name: "strayrng",
 	Doc: "require RNG state to come from the serializable sched.SplitMix/Derive API; " +
 		"stray sources break checkpoint round-trips",
 	Run: run,
-}
+})
 
 func run(pass *analysis.Pass) error {
 	if !analysis.Match(pass.Config.RNGScope, pass.PkgPath) {

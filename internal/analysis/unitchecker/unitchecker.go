@@ -36,6 +36,7 @@ import (
 	"os"
 	"os/exec"
 	"path/filepath"
+	"sort"
 	"strings"
 
 	"repro/internal/analysis"
@@ -51,6 +52,7 @@ type Config struct {
 	GoFiles                   []string
 	ImportMap                 map[string]string
 	PackageFile               map[string]string
+	PackageVetx               map[string]string
 	VetxOnly                  bool
 	VetxOutput                string
 	SucceedOnTypecheckFailure bool
@@ -67,9 +69,11 @@ func Main(analyzers ...*analysis.Analyzer) {
 		versionFlag string
 		printFlags  bool
 		jsonOut     bool
+		fixFlag     bool
+		diffFlag    bool
 		configPath  string
 	)
-	fs := newFlagSet(&versionFlag, &printFlags, &jsonOut, &configPath)
+	fs := newFlagSet(&versionFlag, &printFlags, &jsonOut, &fixFlag, &diffFlag, &configPath)
 	if err := fs.parse(os.Args[1:]); err != nil {
 		log.Fatal(err)
 	}
@@ -88,9 +92,17 @@ func Main(analyzers ...*analysis.Analyzer) {
 
 	args := fs.args
 	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
-		os.Exit(run(args[0], analyzers, jsonOut, configPath))
+		os.Exit(run(args[0], analyzers, runOpts{jsonOut, fixFlag, diffFlag, configPath}))
 	}
-	os.Exit(reexec(jsonOut, configPath, args))
+	os.Exit(reexec(jsonOut, fixFlag, diffFlag, configPath, args))
+}
+
+// runOpts carries the per-invocation flags into run.
+type runOpts struct {
+	json   bool
+	fix    bool
+	diff   bool
+	config string
 }
 
 // flagSet is a hand-rolled parser: cmd/go passes flags in -name=value
@@ -99,12 +111,14 @@ type flagSet struct {
 	version *string
 	print   *bool
 	json    *bool
+	fix     *bool
+	diff    *bool
 	config  *string
 	args    []string
 }
 
-func newFlagSet(version *string, print, jsonOut *bool, config *string) *flagSet {
-	return &flagSet{version: version, print: print, json: jsonOut, config: config}
+func newFlagSet(version *string, print, jsonOut, fix, diff *bool, config *string) *flagSet {
+	return &flagSet{version: version, print: print, json: jsonOut, fix: fix, diff: diff, config: config}
 }
 
 func (fs *flagSet) parse(args []string) error {
@@ -129,6 +143,10 @@ func (fs *flagSet) parse(args []string) error {
 			*fs.print = true
 		case "json":
 			*fs.json = value != "false"
+		case "fix":
+			*fs.fix = value != "false"
+		case "diff":
+			*fs.diff = value != "false"
 		case "config":
 			if !hasValue {
 				if i+1 >= len(args) {
@@ -157,6 +175,8 @@ func (fs *flagSet) printJSON() {
 		{"V", false, "print version and exit"},
 		{"flags", true, "print flags in JSON and exit"},
 		{"json", true, "emit machine-readable JSON diagnostics on stdout"},
+		{"fix", true, "apply suggested fixes to the source tree"},
+		{"diff", true, "print suggested fixes as a unified diff without applying (dry run)"},
 		{"config", false, "path to a detlint.json scope config"},
 	}
 	data, err := json.Marshal(flags)
@@ -188,7 +208,7 @@ func printVersion() {
 
 // reexec turns a direct `detlint [flags] ./...` invocation into
 // `go vet -vettool=<self> [flags] ./...`.
-func reexec(jsonOut bool, configPath string, args []string) int {
+func reexec(jsonOut, fix, diff bool, configPath string, args []string) int {
 	exe, err := os.Executable()
 	if err != nil {
 		log.Fatal(err)
@@ -196,6 +216,12 @@ func reexec(jsonOut bool, configPath string, args []string) int {
 	vetArgs := []string{"vet", "-vettool=" + exe}
 	if jsonOut {
 		vetArgs = append(vetArgs, "-json")
+	}
+	if fix {
+		vetArgs = append(vetArgs, "-fix")
+	}
+	if diff {
+		vetArgs = append(vetArgs, "-diff")
 	}
 	if configPath != "" {
 		vetArgs = append(vetArgs, "-config="+configPath)
@@ -211,28 +237,59 @@ func reexec(jsonOut bool, configPath string, args []string) int {
 	return 0
 }
 
-func run(cfgFile string, analyzers []*analysis.Analyzer, jsonOut bool, configPath string) int {
+func run(cfgFile string, analyzers []*analysis.Analyzer, opts runOpts) int {
 	cfg, err := readConfig(cfgFile)
 	if err != nil {
 		log.Fatal(err)
 	}
-	// cmd/go caches and propagates the facts file to dependents;
-	// detlint's analyzers are fact-free, so an empty one satisfies the
-	// protocol. Written first so every exit path below leaves it.
+	// cmd/go caches the facts file and propagates it to dependents; an
+	// empty one satisfies the protocol. Written first so every exit
+	// path below leaves one, then overwritten with real facts when the
+	// package is in scope.
 	if cfg.VetxOutput != "" {
 		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
 			log.Fatal(err)
 		}
 	}
 
-	dcfg, err := resolveScopes(configPath, cfg.Dir)
+	// Gather the facts every dependency exported. Each vetx already
+	// re-exports its own dependencies' facts, so the merge is complete
+	// even if cmd/go's PackageVetx lists only direct deps.
+	facts := analysis.NewFactStore()
+	for _, path := range sortedKeys(cfg.PackageVetx) {
+		data, err := os.ReadFile(cfg.PackageVetx[path])
+		if err != nil {
+			log.Fatalf("reading facts for %s: %v", path, err)
+		}
+		m, err := analysis.DecodeFacts(data)
+		if err != nil {
+			log.Fatalf("facts for %s: %v", path, err)
+		}
+		facts.AddImported(m)
+	}
+	writeVetx := func() {
+		if cfg.VetxOutput == "" {
+			return
+		}
+		data, err := facts.Encode(cfg.ImportPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := os.WriteFile(cfg.VetxOutput, data, 0o666); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	dcfg, err := resolveScopes(opts.config, cfg.Dir)
 	if err != nil {
 		log.Fatal(err)
 	}
-	// Nothing to do for packages outside every scope — all of std and
-	// every dependency beyond this module — so skip the type-check.
+	// Packages outside every scope — all of std, every dependency
+	// beyond this module — are not analyzed, but their vetx must still
+	// relay dependency facts so a scope gap never severs the chain.
 	if !dcfg.InScope(cfg.ImportPath) {
-		return emit(nil, cfg, nil, jsonOut, analyzers)
+		writeVetx()
+		return emit(nil, cfg, nil, opts, analyzers)
 	}
 
 	fset := token.NewFileSet()
@@ -259,17 +316,47 @@ func run(cfgFile string, analyzers []*analysis.Analyzer, jsonOut bool, configPat
 		log.Fatalf("typecheck %s: %v", cfg.ImportPath, err)
 	}
 
-	diags, err := analysis.Run(&analysis.Package{
+	diags, err := analysis.RunFacts(&analysis.Package{
 		Fset:  fset,
 		Files: files,
 		Path:  cfg.ImportPath,
 		Types: pkg,
 		Info:  info,
-	}, dcfg, analyzers)
+	}, dcfg, analyzers, facts)
 	if err != nil {
 		log.Fatal(err)
 	}
-	return emit(diags, cfg, fset, jsonOut, analyzers)
+	writeVetx()
+
+	if opts.fix || opts.diff {
+		fixed, err := analysis.ApplyFixes(fset, diags, os.ReadFile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, name := range sortedKeys(fixed) {
+			if opts.diff {
+				old, err := os.ReadFile(name)
+				if err != nil {
+					log.Fatal(err)
+				}
+				fmt.Print(analysis.Diff(name, old, fixed[name]))
+			} else {
+				if err := os.WriteFile(name, fixed[name], 0o666); err != nil {
+					log.Fatal(err)
+				}
+			}
+		}
+	}
+	return emit(diags, cfg, fset, opts, analyzers)
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
 }
 
 func readConfig(path string) (*Config, error) {
@@ -350,11 +437,11 @@ func (ci canonicalImporter) Import(path string) (*types.Package, error) {
 // writes a {package: {analyzer: [findings]}} object to stdout and
 // always exits 0 (matching `go vet -json`); plain mode writes
 // file:line:col lines to stderr and exits 2 when anything was found.
-func emit(diags []analysis.Diagnostic, cfg *Config, fset *token.FileSet, jsonOut bool, analyzers []*analysis.Analyzer) int {
+func emit(diags []analysis.Diagnostic, cfg *Config, fset *token.FileSet, opts runOpts, analyzers []*analysis.Analyzer) int {
 	if cfg.VetxOnly {
 		return 0
 	}
-	if jsonOut {
+	if opts.json {
 		type jsonDiag struct {
 			Posn    string `json:"posn"`
 			Message string `json:"message"`

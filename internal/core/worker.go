@@ -112,6 +112,7 @@ type Worker struct {
 
 	t       msg.Transport
 	pending map[pkey][]float64
+	want    map[pkey]bool // await's scratch set, reused so the step loop stays allocation-free
 
 	step    atomic.Int64 // mirror of Step, readable by the controller
 	pauseAt atomic.Int64 // sync step to hold at; pauseNone / pausePending
@@ -141,6 +142,7 @@ func NewWorkerAt(prog Program, factory TransportFactory, epoch int, events chan<
 		Epoch:   epoch,
 		t:       t,
 		pending: make(map[pkey][]float64),
+		want:    make(map[pkey]bool),
 		ctrl:    make(chan ctrlMsg, 8),
 		paused:  make(chan ctrlMsg, 8),
 		wake:    make(chan struct{}, 1),
@@ -184,7 +186,8 @@ func (w *Worker) RunStep() error {
 // await blocks until every expected message of (w.Step, phase) has been
 // unpacked, buffering messages that belong to later steps.
 func (w *Worker) await(phase int) error {
-	want := make(map[pkey]bool)
+	want := w.want
+	clear(want)
 	for _, e := range w.Prog.Expects(phase) {
 		k := pkey{w.Step, phase, e.Dir, e.Peer}
 		if data, ok := w.pending[k]; ok {

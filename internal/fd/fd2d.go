@@ -69,6 +69,12 @@ type Solver2D struct {
 	velFn, denFn func(lo, hi int)
 	runFn        filter.RunFunc
 	xbuf         []float64
+
+	// Field lists built once at construction so the steady-state step
+	// allocates nothing; Swap exchanges field contents, never these
+	// pointers, so they stay valid across steps.
+	filterFields []*grid.Field2D
+	phaseFields  [2][]*grid.Field2D
 }
 
 // NewSolver2D allocates a solver for an nx-by-ny subregion. The fields are
@@ -96,6 +102,8 @@ func NewSolver2D(nx, ny int, par fluid.Params, mask func(x, y int) fluid.CellTyp
 		rowOpen: make([]bool, ny),
 		plan:    filter.NewPlan2D(nx, ny, mask),
 	}
+	s.filterFields = []*grid.Field2D{s.Rho, s.Vx, s.Vy}
+	s.phaseFields = [2][]*grid.Field2D{{s.Vx, s.Vy}, {s.Rho}}
 	for y := 0; y < ny; y++ {
 		open := true
 		for x := 0; x < nx; x++ {
@@ -233,15 +241,15 @@ func (s *Solver2D) densityRows(y0, y1 int) {
 
 // applyFilter runs the shared fourth-order filter on rho, Vx, Vy.
 func (s *Solver2D) applyFilter() {
-	s.plan.Apply([]*grid.Field2D{s.Rho, s.Vx, s.Vy}, s.Par.Eps, s.scratch, s.runFn)
+	s.plan.Apply(s.filterFields, s.Par.Eps, s.scratch, s.runFn)
 }
 
 // fields returns the state fields in the fixed exchange order.
 func (s *Solver2D) fields(phase int) []*grid.Field2D {
 	if phase == 0 {
-		return []*grid.Field2D{s.Vx, s.Vy}
+		return s.phaseFields[0]
 	}
-	return []*grid.Field2D{s.Rho}
+	return s.phaseFields[1]
 }
 
 // Pack extracts the boundary data sent to the neighbour at dir after the

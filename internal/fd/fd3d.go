@@ -40,6 +40,11 @@ type Solver3D struct {
 	velFn, denFn func(lo, hi int)
 	runFn        filter.RunFunc
 	xbuf         []float64
+
+	// Field lists built once at construction so the steady-state step
+	// allocates nothing (see Solver2D).
+	filterFields []*grid.Field3D
+	phaseFields  [2][]*grid.Field3D
 }
 
 // NewSolver3D allocates a 3D solver initialized to rho = Rho0, V = 0.
@@ -66,6 +71,8 @@ func NewSolver3D(nx, ny, nz int, par fluid.Params, mask func(x, y, z int) fluid.
 		rowOpen: make([]bool, ny*nz),
 		plan:    filter.NewPlan3D(nx, ny, nz, mask),
 	}
+	s.filterFields = []*grid.Field3D{s.Rho, s.Vx, s.Vy, s.Vz}
+	s.phaseFields = [2][]*grid.Field3D{{s.Vx, s.Vy, s.Vz}, {s.Rho}}
 	for z := 0; z < nz; z++ {
 		for y := 0; y < ny; y++ {
 			open := true
@@ -227,14 +234,14 @@ func (s *Solver3D) densityPlanes(z0, z1 int) {
 }
 
 func (s *Solver3D) applyFilter() {
-	s.plan.Apply([]*grid.Field3D{s.Rho, s.Vx, s.Vy, s.Vz}, s.Par.Eps, s.scratch, s.runFn)
+	s.plan.Apply(s.filterFields, s.Par.Eps, s.scratch, s.runFn)
 }
 
 func (s *Solver3D) fields(phase int) []*grid.Field3D {
 	if phase == 0 {
-		return []*grid.Field3D{s.Vx, s.Vy, s.Vz}
+		return s.phaseFields[0]
 	}
-	return []*grid.Field3D{s.Rho}
+	return s.phaseFields[1]
 }
 
 // Pack extracts the interior face strip sent to the neighbour at dir after

@@ -109,6 +109,11 @@ type Solver2D struct {
 	shiftSrc, shiftDst        *grid.Field2D
 	shiftDx, shiftDy          int
 	xbuf                      []float64
+
+	// Filter field list built once at construction so the steady-state
+	// step allocates nothing; Swap exchanges field contents, never these
+	// pointers, so it stays valid across steps.
+	filterFields []*grid.Field2D
 }
 
 // NewSolver2D allocates a D2Q9 solver for an nx-by-ny subregion,
@@ -133,6 +138,7 @@ func NewSolver2D(nx, ny int, par fluid.Params, mask func(x, y int) fluid.CellTyp
 		rowOpen: make([]bool, ny),
 		plan:    filter.NewPlan2D(nx, ny, mask),
 	}
+	s.filterFields = []*grid.Field2D{s.Rho, s.Vx, s.Vy}
 	for i := 0; i < Q2; i++ {
 		s.F[i] = grid.NewField2D(nx, ny, 1)
 		s.nF[i] = grid.NewField2D(nx, ny, 1)
@@ -376,7 +382,7 @@ func (s *Solver2D) macroRows(y0, y1 int) {
 }
 
 func (s *Solver2D) applyFilter() {
-	s.plan.Apply([]*grid.Field2D{s.Rho, s.Vx, s.Vy}, s.Par.Eps, s.scratch, s.runFn)
+	s.plan.Apply(s.filterFields, s.Par.Eps, s.scratch, s.runFn)
 }
 
 // sendRegion returns the ghost-strip region of population i's outflow

@@ -82,6 +82,10 @@ type Solver3D struct {
 	shiftSrc, shiftDst        *grid.Field3D
 	shiftDx, shiftDy, shiftDz int
 	xbuf                      []float64
+
+	// Filter field list built once at construction so the steady-state
+	// step allocates nothing (see Solver2D).
+	filterFields []*grid.Field3D
 }
 
 // NewSolver3D allocates a D3Q15 solver initialized to equilibrium at
@@ -106,6 +110,7 @@ func NewSolver3D(nx, ny, nz int, par fluid.Params, mask func(x, y, z int) fluid.
 		rowOpen: make([]bool, ny*nz),
 		plan:    filter.NewPlan3D(nx, ny, nz, mask),
 	}
+	s.filterFields = []*grid.Field3D{s.Rho, s.Vx, s.Vy, s.Vz}
 	for i := 0; i < Q3; i++ {
 		s.F[i] = grid.NewField3D(nx, ny, nz, 1)
 		s.nF[i] = grid.NewField3D(nx, ny, nz, 1)
@@ -183,16 +188,24 @@ func (s *Solver3D) Phases() int { return 4 }
 // says on which faces.
 func (s *Solver3D) Exchanges(phase int) bool { return phase <= 2 }
 
+// Face pairs exchanged after each compute phase, fixed at package level
+// so ExchangeDirs stays allocation-free on the step path.
+var (
+	xFaces3 = []decomp.Dir3{decomp.West3, decomp.East3}
+	yFaces3 = []decomp.Dir3{decomp.South3, decomp.North3}
+	zFaces3 = []decomp.Dir3{decomp.Down3, decomp.Up3}
+)
+
 // ExchangeDirs returns the faces exchanged after the given phase: x faces
 // after relax, then y faces, then z faces.
 func (s *Solver3D) ExchangeDirs(phase int) []decomp.Dir3 {
 	switch phase {
 	case 0:
-		return []decomp.Dir3{decomp.West3, decomp.East3}
+		return xFaces3
 	case 1:
-		return []decomp.Dir3{decomp.South3, decomp.North3}
+		return yFaces3
 	case 2:
-		return []decomp.Dir3{decomp.Down3, decomp.Up3}
+		return zFaces3
 	}
 	return nil
 }
@@ -330,7 +343,7 @@ func (s *Solver3D) macroPlanes(z0, z1 int) {
 }
 
 func (s *Solver3D) applyFilter() {
-	s.plan.Apply([]*grid.Field3D{s.Rho, s.Vx, s.Vy, s.Vz}, s.Par.Eps, s.scratch, s.runFn)
+	s.plan.Apply(s.filterFields, s.Par.Eps, s.scratch, s.runFn)
 }
 
 // crossingTab3 caches, per face direction, the population indices with a

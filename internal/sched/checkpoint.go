@@ -260,15 +260,18 @@ func Restore(dir string, c *cluster.Cluster, reg WorkloadRegistry) (*Scheduler, 
 			return nil, err
 		}
 		s.ids[js.spec.ID] = true
+		// Restore replays bookkeeping the original run already announced:
+		// each job's queue/run/finish events live in the pre-checkpoint
+		// stream, and re-emitting them here would double-count.
 		switch jr.Phase {
 		case ckpt.PhasePending:
 			s.pending = append(s.pending, js)
 		case ckpt.PhaseQueued:
-			s.queue = append(s.queue, js)
+			s.queue = append(s.queue, js) //detlint:allow eventcomplete -- restore rebuilds state whose events the original run already emitted
 		case ckpt.PhaseRunning:
-			s.running = append(s.running, js)
+			s.running = append(s.running, js) //detlint:allow eventcomplete -- restore rebuilds state whose events the original run already emitted
 		case ckpt.PhaseFinished:
-			s.finished = append(s.finished, js)
+			s.finished = append(s.finished, js) //detlint:allow eventcomplete -- restore rebuilds state whose events the original run already emitted
 		}
 	}
 	return s, nil
@@ -372,7 +375,7 @@ func restoreJob(dir, statesDir string, jr ckpt.JobRecord, c *cluster.Cluster, re
 		}
 		hosts[rank] = h
 	}
-	js.res = &cluster.Reservation{Owner: jr.ID, Hosts: hosts}
+	js.res = &cluster.Reservation{Owner: jr.ID, Hosts: hosts} //detlint:allow eventcomplete -- re-establishes the placement the manifest recorded; its JobPlaced event predates the checkpoint
 	if err := js.work.Resume(hosts); err != nil {
 		return nil, fmt.Errorf("sched: restore %s: resuming workload: %w", jr.ID, err)
 	}

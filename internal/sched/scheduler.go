@@ -319,7 +319,7 @@ func (s *Scheduler) Close() {
 		for _, js := range s.running {
 			if js.res != nil {
 				js.res.Release()
-				js.res = nil
+				js.res = nil //detlint:allow eventcomplete -- teardown after a failed Run; the event stream is already closed
 			}
 		}
 	}
@@ -804,7 +804,7 @@ func (s *Scheduler) tryPlace(js *jobState, t time.Duration, deadline time.Durati
 	}
 	js.shape = shape
 	js.imbalance = imb
-	js.res = res
+	js.res = res //detlint:allow eventcomplete -- the caller emits JobPlaced/JobBackfilled, which carry deadline context tryPlace lacks
 	js.stepSec = sec
 	js.placedAt = t
 	js.finishAt = finish
@@ -824,7 +824,7 @@ func (s *Scheduler) tryPlace(js *jobState, t time.Duration, deadline time.Durati
 		res.Release()
 		return false, fmt.Errorf("sched: starting %s: %w", js.spec.ID, err)
 	}
-	s.running = append(s.running, js)
+	s.running = append(s.running, js) //detlint:allow eventcomplete -- the caller emits JobPlaced/JobBackfilled, which carry deadline context tryPlace lacks
 	return true, nil
 }
 
